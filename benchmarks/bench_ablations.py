@@ -1,0 +1,61 @@
+"""Regenerate the ablation studies (DESIGN.md design-choice index)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import (
+    compute_placement_ablation,
+    compute_relocation_ablation,
+    compute_replacement_ablation,
+    format_ablation,
+)
+
+
+def bench_ablation_relocation(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_relocation_ablation,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_ablation(result))
+    # Flush-home relocation (C_relocate ~ C_allocate) must never beat
+    # the aggressive local move, and must visibly hurt at least one app.
+    penalties = [
+        result.penalty(app, "R-NUMA flush-home", "R-NUMA local-move")
+        for app in result.normalized
+    ]
+    assert all(p >= 0.99 for p in penalties)
+    assert max(penalties) >= 1.02
+
+
+def bench_ablation_replacement(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_replacement_ablation,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_ablation(result))
+    # LRM should be competitive with full LRU (that is the paper's
+    # argument for building the cheap policy).
+    for app in result.normalized:
+        assert result.penalty(app, "S-COMA lrm", "S-COMA lru") <= 1.30, app
+
+
+def bench_ablation_placement(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_placement_ablation,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_ablation(result))
+    # First-touch must clearly beat round-robin somewhere: the paper's
+    # justification for assuming it throughout.
+    gains = [
+        result.penalty(app, "CC round-robin", "CC first-touch")
+        for app in result.normalized
+    ]
+    assert max(gains) >= 1.15

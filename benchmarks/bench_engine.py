@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the simulation engine itself: simulated accesses
+per second on an L1-hit-dominated stream and on a miss-heavy stream.
+These guard against hot-path regressions."""
+
+from repro.common.addressing import AddressSpace
+from repro.common.params import CacheParams, MachineParams, SystemConfig
+from repro.common.records import Access, Barrier
+from repro.sim.engine import simulate
+
+SPACE = AddressSpace()
+MACHINE = MachineParams(nodes=2, cpus_per_node=1)
+
+
+def _config(protocol="ccnuma"):
+    return SystemConfig(
+        protocol=protocol,
+        machine=MACHINE,
+        caches=CacheParams(),
+        space=SPACE,
+    )
+
+
+def _hit_trace(n=20000):
+    # One block hammered: pure L1-hit fast path after the first access.
+    return [[Access(0, think=1) for _ in range(n)] + [Barrier(0)], [Barrier(0)]]
+
+
+def _miss_trace(n=20000):
+    # March over 4 MB: every access misses the 8-KB L1.
+    stride = SPACE.block_size
+    span = 4 * 1024 * 1024
+    t = [Access((i * stride * 7) % span, think=1) for i in range(n)]
+    return [t + [Barrier(0)], [Barrier(0)]]
+
+
+def bench_engine_l1_hits(benchmark):
+    traces = _hit_trace()
+    result = benchmark(lambda: simulate(_config(), [list(t) for t in traces]))
+    assert result.total("l1_hits") >= 19999
+
+
+def bench_engine_miss_path(benchmark):
+    traces = _miss_trace()
+    result = benchmark(lambda: simulate(_config(), [list(t) for t in traces]))
+    assert result.total("l1_misses") > 10000
+
+
+def bench_engine_rnuma_relocations(benchmark):
+    from repro.workloads import synthetic
+
+    program = synthetic.worst_case_for_rnuma(MACHINE, SPACE, threshold=64, pages=16)
+    config = SystemConfig(
+        protocol="rnuma",
+        machine=MACHINE,
+        caches=CacheParams(block_cache_size=128),
+        space=SPACE,
+        relocation_threshold=64,
+    )
+    result = benchmark(
+        lambda: simulate(config, [list(t) for t in program.traces])
+    )
+    assert result.total("relocations") == 16

@@ -1,0 +1,17 @@
+"""Regenerate the cluster-size extension experiment (4/8/16 nodes)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import compute_scaling, format_scaling
+
+
+def bench_extension_scaling(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_scaling,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_scaling(result))
+    # R-NUMA's stability claim must survive the system-size sweep.
+    assert result.stability_bound() <= 1.6

@@ -1,0 +1,25 @@
+"""Regenerate Figure 5: the refetch CDF over remote pages (CC-NUMA,
+32-KB block cache)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import compute_figure5, format_figure5
+
+
+def bench_figure5(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_figure5,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_figure5(result))
+    # The paper's observation: several apps concentrate >80% of their
+    # refetches in <=10% of remote pages; radix is nearly uniform.
+    concentrated = [
+        app
+        for app in result.curves
+        if result.curves[app] and result.refetch_share(app, 0.10) >= 0.5
+    ]
+    assert len(concentrated) >= 2
+    assert result.refetch_share("radix", 0.10) <= 0.45

@@ -1,0 +1,22 @@
+"""Regenerate Figure 6: CC-NUMA vs S-COMA vs R-NUMA on the base
+systems, normalized to the infinite-block-cache CC-NUMA."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import compute_figure6, format_figure6
+
+
+def bench_figure6(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_figure6,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_figure6(result))
+    claims = result.headline_claims()
+    # Paper headline: R-NUMA never worst, at most ~57% worse than the
+    # best of the two pure protocols.
+    assert claims["rnuma_never_worst"]
+    assert claims["rnuma_worst_vs_best"] <= 1.57
+    assert claims["scoma_worst_vs_ccnuma"] >= 3.0

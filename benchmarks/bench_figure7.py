@@ -1,0 +1,29 @@
+"""Regenerate Figure 7: cache-size sensitivity of CC-NUMA and R-NUMA."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import compute_figure7, format_figure7
+
+
+def bench_figure7(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_figure7,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_figure7(result))
+    # Paper: CC-NUMA is highly sensitive to block-cache size for apps
+    # with big working sets, and R-NUMA recovers with a bigger block
+    # cache (radix/fmm) while staying fast at b=128 for hot-page apps.
+    norm = result.normalized
+    assert any(result.cc_sensitivity(app) >= 1.3 for app in norm)
+    assert any(
+        norm[app]["R b=128,p=320K"] / norm[app]["R b=32K,p=320K"] >= 1.2
+        for app in norm
+    )
+    # The 40-MB page cache never hurts.
+    assert all(
+        norm[app]["R b=128,p=40M"] <= norm[app]["R b=128,p=320K"] * 1.02
+        for app in norm
+    )

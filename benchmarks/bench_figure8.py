@@ -1,0 +1,21 @@
+"""Regenerate Figure 8: R-NUMA relocation-threshold sensitivity."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import compute_figure8, format_figure8
+
+
+def bench_figure8(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_figure8,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_figure8(result))
+    # Paper: reuse-heavy apps favour a low threshold; communication
+    # apps are insensitive.
+    assert result.variation("em3d") <= 0.05
+    assert result.variation("fft") <= 0.05
+    low_wins = [a for a in result.normalized if result.best_threshold(a) <= 64]
+    assert len(low_wins) >= 5

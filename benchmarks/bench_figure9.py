@@ -1,0 +1,24 @@
+"""Regenerate Figure 9: sensitivity to page-fault/TLB overheads
+(base vs SOFT systems)."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import compute_figure9, format_figure9
+
+
+def bench_figure9(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_figure9,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_figure9(result))
+    # Paper: S-COMA degrades far more than R-NUMA when page operations
+    # get ~3x more expensive, because R-NUMA eliminated most
+    # replacements.
+    apps = list(result.normalized)
+    scoma_worst = max(result.scoma_degradation(a) for a in apps)
+    rnuma_worst = max(result.rnuma_degradation(a) for a in apps)
+    assert scoma_worst > rnuma_worst
+    assert scoma_worst >= 1.3

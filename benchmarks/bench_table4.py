@@ -1,0 +1,28 @@
+"""Regenerate Table 4: refetch/replacement characterization."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments import compute_table4, format_table4
+
+
+def bench_table4(benchmark, result_cache):
+    result = benchmark.pedantic(
+        compute_table4,
+        kwargs=dict(scale=BENCH_SCALE, cache=result_cache),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table4(result))
+    rows = result.rows
+    # Paper: most apps' refetches are overwhelmingly to read-write
+    # shared pages; raytrace (read-only scene) is the exception.
+    rw_heavy = [a for a, r in rows.items() if r.rw_page_refetch_fraction >= 0.8]
+    assert len(rw_heavy) >= 4
+    assert rows["raytrace"].rw_page_refetch_fraction <= 0.3
+    # R-NUMA nearly eliminates S-COMA's replacements in most apps.
+    repl = [
+        r.rnuma_replacement_pct
+        for r in rows.values()
+        if r.rnuma_replacement_pct is not None
+    ]
+    assert repl and min(repl) <= 10.0

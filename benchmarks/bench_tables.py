@@ -1,0 +1,40 @@
+"""Regenerate Tables 1-3 (model parameters/EQ 3, cost assumptions, the
+application suite) and benchmark the analytical model itself."""
+
+import math
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.common.params import BASE_COSTS
+from repro.experiments import format_table1, format_table2, format_table3
+from repro.model.competitive import CompetitiveModel, ModelParameters
+
+
+def bench_table1_model(benchmark):
+    params = ModelParameters.from_costs(BASE_COSTS, blocks_flushed=32)
+
+    def evaluate():
+        model = CompetitiveModel(params)
+        t = model.optimal_threshold
+        return model.worst_ratio(t), model.bound_at_optimum
+
+    worst, bound = benchmark(evaluate)
+    print()
+    print(format_table1())
+    assert math.isclose(worst, bound, rel_tol=1e-9)
+    assert 2.0 <= bound <= 3.0
+
+
+def bench_table2_costs(benchmark):
+    result = benchmark(lambda: (format_table2(), BASE_COSTS.page_op_cost(64)))
+    print()
+    print(result[0])
+    assert 11000 <= result[1] <= 12000
+
+
+def bench_table3_workloads(benchmark):
+    text = benchmark.pedantic(
+        format_table3, kwargs=dict(scale=BENCH_SCALE), iterations=1, rounds=1
+    )
+    print()
+    print(text)
+    assert "barnes" in text and "raytrace" in text

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; this offline
+environment lacks it, so `python setup.py develop` (or this shim) keeps
+the editable install path working.
+"""
+
+from setuptools import setup
+
+setup()

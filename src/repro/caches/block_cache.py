@@ -1,0 +1,131 @@
+"""CC-NUMA remote block cache (the paper's "cluster cache").
+
+A direct-mapped, write-back SRAM cache holding *remote* blocks only
+(paper, Section 2.1).  It acts as another level of the node's cache
+hierarchy behind the four processor caches.
+
+Inclusion policy (paper, Section 4): the block cache maintains inclusion
+with the processor caches for blocks held **read-write** but not for
+blocks held read-only.  Evicting a dirty/exclusive frame therefore forces
+the L1 copies out (the engine performs that), while evicting a read-only
+frame leaves any L1 copies in place.
+
+A ``num_blocks`` of 0 models a machine with no block cache; a very large
+value models the paper's "infinite block cache" normalization baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+
+class BlockCacheLine:
+    """Frame metadata: which block lives here and whether it is dirty /
+    held with write (exclusive) rights at node level."""
+
+    __slots__ = ("block", "writable", "dirty")
+
+    def __init__(self, block: int, writable: bool, dirty: bool) -> None:
+        self.block = block
+        self.writable = writable
+        self.dirty = dirty
+
+
+class BlockCache:
+    """Direct-mapped write-back cache indexed by block number.
+
+    ``num_blocks`` may be any non-negative count; a non-power-of-two is
+    rejected (the real device indexes with address bits).  ``infinite``
+    builds the ideal-machine variant with no evictions.
+    """
+
+    __slots__ = ("num_blocks", "_mask", "_lines", "_infinite")
+
+    def __init__(self, num_blocks: int, infinite: bool = False) -> None:
+        if num_blocks < 0:
+            raise ConfigurationError("num_blocks must be >= 0")
+        if not infinite and num_blocks and (num_blocks & (num_blocks - 1)) != 0:
+            raise ConfigurationError(
+                f"block cache size must be a power of two blocks, got {num_blocks}"
+            )
+        self.num_blocks = num_blocks
+        self._mask = num_blocks - 1 if num_blocks else 0
+        self._infinite = infinite
+        self._lines: Dict[int, BlockCacheLine] = {}
+
+    @classmethod
+    def infinite_cache(cls) -> "BlockCache":
+        """The ideal CC-NUMA block cache: holds everything, never evicts."""
+        return cls(num_blocks=1, infinite=True)
+
+    @property
+    def is_infinite(self) -> bool:
+        return self._infinite
+
+    def _index(self, block: int) -> int:
+        return block if self._infinite else block & self._mask
+
+    def lookup(self, block: int) -> Optional[BlockCacheLine]:
+        """The resident line for ``block``, or None on a miss."""
+        if self.num_blocks == 0 and not self._infinite:
+            return None
+        line = self._lines.get(self._index(block))
+        if line is not None and line.block == block:
+            return line
+        return None
+
+    def victim_for(self, block: int) -> Optional[BlockCacheLine]:
+        """Line that inserting ``block`` would displace (None if free)."""
+        if self._infinite:
+            return None
+        if self.num_blocks == 0:
+            return None
+        line = self._lines.get(self._index(block))
+        if line is None or line.block == block:
+            return None
+        return line
+
+    def insert(self, block: int, writable: bool) -> Optional[BlockCacheLine]:
+        """Install ``block``; returns the displaced line, if any.
+
+        With ``num_blocks == 0`` the insert is a no-op returning None
+        (the machine simply has nowhere to put remote blocks and every
+        access refetches).
+        """
+        if self.num_blocks == 0 and not self._infinite:
+            return None
+        victim = self.victim_for(block)
+        self._lines[self._index(block)] = BlockCacheLine(block, writable, dirty=False)
+        return victim
+
+    def invalidate(self, block: int) -> Optional[BlockCacheLine]:
+        """Drop ``block``; returns the dropped line (None if absent)."""
+        idx = self._index(block)
+        line = self._lines.get(idx)
+        if line is None or line.block != block:
+            return None
+        del self._lines[idx]
+        return line
+
+    def mark_dirty(self, block: int) -> None:
+        line = self.lookup(block)
+        if line is not None:
+            line.dirty = True
+            line.writable = True
+
+    def resident_blocks(self) -> List[int]:
+        return [line.block for line in self._lines.values()]
+
+    def lines_of_page(self, page_blocks) -> List[BlockCacheLine]:
+        """Resident lines whose block falls in ``page_blocks``."""
+        hits = []
+        for b in page_blocks:
+            line = self.lookup(b)
+            if line is not None:
+                hits.append(line)
+        return hits
+
+    def __len__(self) -> int:
+        return len(self._lines)

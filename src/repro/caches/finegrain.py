@@ -1,0 +1,105 @@
+"""S-COMA fine-grain access-control tags.
+
+The S-COMA RAD keeps two bits per block of every page-cache frame so it
+can tell, on each bus transaction, whether local memory may satisfy the
+fill or the RAD must inhibit memory and fetch remotely (paper,
+Section 2.2).  The three meaningful encodings:
+
+=============== ==================================================
+BLOCK_INVALID   block not present locally; RAD must fetch
+BLOCK_READONLY  present, reads may be satisfied locally
+BLOCK_WRITABLE  present with write permission (node has ownership)
+=============== ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.errors import ProtocolError
+
+BLOCK_INVALID = 0
+BLOCK_READONLY = 1
+BLOCK_WRITABLE = 2
+
+_VALID_STATES = (BLOCK_INVALID, BLOCK_READONLY, BLOCK_WRITABLE)
+
+
+class FineGrainTags:
+    """Per-page block tags for every S-mapped page on one node.
+
+    Tags exist only for pages currently mapped in the page cache; mapping
+    a page resets every block to BLOCK_INVALID (a newly allocated frame
+    holds no data until blocks are fetched or relocated into it).
+    """
+
+    __slots__ = ("blocks_per_page", "_tags", "_dirty")
+
+    def __init__(self, blocks_per_page: int) -> None:
+        if blocks_per_page <= 0:
+            raise ProtocolError("blocks_per_page must be positive")
+        self.blocks_per_page = blocks_per_page
+        # page -> {block offset -> state}; absent offset == BLOCK_INVALID
+        self._tags: Dict[int, Dict[int, int]] = {}
+        # page -> set of dirty block offsets
+        self._dirty: Dict[int, set] = {}
+
+    def map_page(self, page: int) -> None:
+        """Create all-invalid tags for a freshly mapped page."""
+        if page in self._tags:
+            raise ProtocolError(f"page {page} already has fine-grain tags")
+        self._tags[page] = {}
+        self._dirty[page] = set()
+
+    def unmap_page(self, page: int) -> None:
+        """Drop tags for an unmapped page."""
+        self._tags.pop(page, None)
+        self._dirty.pop(page, None)
+
+    def is_mapped(self, page: int) -> bool:
+        return page in self._tags
+
+    def get(self, page: int, offset: int) -> int:
+        """Tag state of block ``offset`` within ``page``."""
+        tags = self._tags.get(page)
+        if tags is None:
+            return BLOCK_INVALID
+        return tags.get(offset, BLOCK_INVALID)
+
+    def set(self, page: int, offset: int, state: int) -> None:
+        if state not in _VALID_STATES:
+            raise ProtocolError(f"not a fine-grain tag state: {state}")
+        tags = self._tags.get(page)
+        if tags is None:
+            raise ProtocolError(f"page {page} is not S-mapped on this node")
+        if state == BLOCK_INVALID:
+            tags.pop(offset, None)
+            self._dirty[page].discard(offset)
+        else:
+            tags[offset] = state
+
+    def mark_dirty(self, page: int, offset: int) -> None:
+        """Record that the local page-cache copy of a block is dirty."""
+        if page not in self._tags:
+            raise ProtocolError(f"page {page} is not S-mapped on this node")
+        self._dirty[page].add(offset)
+
+    def clear_dirty(self, page: int, offset: int) -> None:
+        """Mark a block clean again (its data was written back home)."""
+        dirty = self._dirty.get(page)
+        if dirty is not None:
+            dirty.discard(offset)
+
+    def valid_offsets(self, page: int) -> List[int]:
+        """Offsets of all present (readonly or writable) blocks."""
+        tags = self._tags.get(page)
+        return sorted(tags) if tags else []
+
+    def dirty_offsets(self, page: int) -> List[int]:
+        """Offsets of blocks whose local copy must be flushed home."""
+        dirty = self._dirty.get(page)
+        return sorted(dirty) if dirty else []
+
+    def valid_count(self, page: int) -> int:
+        tags = self._tags.get(page)
+        return len(tags) if tags else 0

@@ -1,0 +1,127 @@
+"""Per-processor L1 data cache.
+
+Direct-mapped, write-back, write-allocate, with MOESI line states
+(see :mod:`repro.coherence.states`).  The paper models 8-KB direct-mapped
+processor caches to compensate for scaled-down data sets; we default to
+the same.
+
+The cache stores no data — only (tag, state) per set — because the
+simulator is timing-only.  The ``mask``, ``block_at``, and ``state_at``
+attributes are public on purpose: the simulation engine inlines the hit
+check on its hot path instead of paying a method call per reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.coherence.states import INVALID, MODIFIED, OWNED, SHARED
+from repro.common.errors import ConfigurationError
+
+
+class L1Cache:
+    """A direct-mapped MOESI cache indexed by block number.
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of block frames (cache size / block size).  Must be a
+        power of two so set selection is a mask.
+    """
+
+    __slots__ = ("num_blocks", "mask", "block_at", "state_at")
+
+    def __init__(self, num_blocks: int) -> None:
+        if num_blocks <= 0 or (num_blocks & (num_blocks - 1)) != 0:
+            raise ConfigurationError(
+                f"L1 num_blocks must be a positive power of two, got {num_blocks}"
+            )
+        self.num_blocks = num_blocks
+        self.mask = num_blocks - 1
+        # set index -> resident block number / MOESI state
+        self.block_at: Dict[int, int] = {}
+        self.state_at: Dict[int, int] = {}
+
+    def set_of(self, block: int) -> int:
+        return block & self.mask
+
+    def state_of(self, block: int) -> int:
+        """MOESI state of ``block``, or INVALID if not resident."""
+        idx = block & self.mask
+        if self.block_at.get(idx) == block:
+            return self.state_at[idx]
+        return INVALID
+
+    def contains(self, block: int) -> bool:
+        return self.state_of(block) != INVALID
+
+    def victim_for(self, block: int) -> Optional[Tuple[int, int]]:
+        """The (block, state) that inserting ``block`` would evict.
+
+        Returns None when the target set is empty or already holds
+        ``block``.
+        """
+        idx = block & self.mask
+        resident = self.block_at.get(idx)
+        if resident is None or resident == block:
+            return None
+        return resident, self.state_at[idx]
+
+    def insert(self, block: int, state: int) -> Optional[Tuple[int, int]]:
+        """Install ``block`` with ``state``; returns the evicted line.
+
+        The caller is responsible for acting on the eviction (write-back,
+        coherence bookkeeping); the returned (block, state) pair
+        describes what was displaced.
+        """
+        if state == INVALID:
+            raise ConfigurationError("cannot insert a line in INVALID state")
+        victim = self.victim_for(block)
+        idx = block & self.mask
+        self.block_at[idx] = block
+        self.state_at[idx] = state
+        return victim
+
+    def set_state(self, block: int, state: int) -> None:
+        """Change the state of a resident line (INVALID removes it)."""
+        idx = block & self.mask
+        if self.block_at.get(idx) != block:
+            return
+        if state == INVALID:
+            del self.block_at[idx]
+            del self.state_at[idx]
+        else:
+            self.state_at[idx] = state
+
+    def invalidate(self, block: int) -> int:
+        """Remove ``block``; returns its prior state (INVALID if absent)."""
+        idx = block & self.mask
+        if self.block_at.get(idx) != block:
+            return INVALID
+        state = self.state_at[idx]
+        del self.block_at[idx]
+        del self.state_at[idx]
+        return state
+
+    def resident_blocks(self) -> List[int]:
+        """All resident block numbers (unordered)."""
+        return list(self.block_at.values())
+
+    def resident_blocks_of_page(self, page_blocks: Iterable[int]) -> List[int]:
+        """Subset of ``page_blocks`` currently resident."""
+        return [b for b in page_blocks if self.contains(b)]
+
+    def has_dirty(self, block: int) -> bool:
+        return self.state_of(block) in (MODIFIED, OWNED)
+
+    def downgrade_to_shared(self, block: int) -> bool:
+        """M/E/O -> S; returns True if the line was dirty (M or O)."""
+        state = self.state_of(block)
+        if state == INVALID:
+            return False
+        dirty = state == MODIFIED or state == OWNED
+        self.set_state(block, SHARED)
+        return dirty
+
+    def __len__(self) -> int:
+        return len(self.block_at)

@@ -1,0 +1,117 @@
+"""S-COMA page cache with pluggable replacement policy.
+
+A region of the node's main memory holds remote pages at page
+granularity.  The cache is fully associative — standard virtual-address
+translation locates frames — so the only policy decision is victim
+selection.  Three policies are provided:
+
+``lrm`` (paper default)
+    **Least Recently Missed**: the frame list is reordered only on
+    *remote misses* to a page, not on every reference (Section 4).
+    Cheap to approximate in hardware with per-page miss counters the OS
+    samples at fault time.
+``lru``
+    Classical least-recently-*used*: reordered on hits as well.  More
+    expensive to build; included as the ablation target the paper
+    compares LRM against ("similar to classical LRU, but ...").
+``fifo``
+    Never reordered; evict the oldest mapping.  The baseline that shows
+    what recency tracking buys.
+
+The structure leans on ``dict`` preserving insertion order: the mapping
+acts as the recency queue with the front being the victim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError, ProtocolError
+
+POLICIES = ("lrm", "lru", "fifo")
+
+
+class PageCache:
+    """Fixed number of page frames with a replacement policy.
+
+    ``capacity`` of 0 models a machine with no page cache (pure
+    CC-NUMA nodes still instantiate one so the engine code is uniform).
+    """
+
+    __slots__ = ("capacity", "policy", "_frames")
+
+    def __init__(self, capacity: int, policy: str = "lrm") -> None:
+        if capacity < 0:
+            raise ConfigurationError("page cache capacity must be >= 0")
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown replacement policy {policy!r}; expected one of {POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        # page -> None, ordered victim-candidate first
+        self._frames: Dict[int, None] = {}
+
+    @property
+    def reorders_on_hit(self) -> bool:
+        """True when the engine must report page-cache *hits* too."""
+        return self.policy == "lru"
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def has_free_frame(self) -> bool:
+        return len(self._frames) < self.capacity
+
+    def resident_pages(self) -> List[int]:
+        """Pages in replacement order (victim candidate first)."""
+        return list(self._frames)
+
+    def victim(self) -> Optional[int]:
+        """The replacement victim, or None when a frame is free."""
+        if self.has_free_frame or not self._frames:
+            return None
+        return next(iter(self._frames))
+
+    def insert(self, page: int) -> None:
+        """Map ``page`` into a free frame (most-recent position).
+
+        The caller must have created room first; inserting past capacity
+        is a protocol bug.
+        """
+        if page in self._frames:
+            raise ProtocolError(f"page {page} already resident in page cache")
+        if not self.has_free_frame:
+            raise ProtocolError("page cache full; evict a victim first")
+        self._frames[page] = None
+
+    def evict(self, page: int) -> None:
+        if page not in self._frames:
+            raise ProtocolError(f"page {page} not resident; cannot evict")
+        del self._frames[page]
+
+    def touch_miss(self, page: int) -> None:
+        """Record a remote miss to ``page``.
+
+        Under LRM and LRU this moves the page to the safest position;
+        under FIFO it is a no-op (insertion order rules).
+        """
+        if page not in self._frames:
+            raise ProtocolError(f"page {page} not resident; cannot touch")
+        if self.policy != "fifo":
+            del self._frames[page]
+            self._frames[page] = None
+
+    def touch_hit(self, page: int) -> None:
+        """Record a local hit on ``page`` (LRU reorders; others ignore).
+
+        The engine only calls this when :attr:`reorders_on_hit` is set,
+        keeping the hot path free of dict churn for the default policy.
+        """
+        if self.policy == "lru" and page in self._frames:
+            del self._frames[page]
+            self._frames[page] = None

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the workload suite (Table 3).
+``run APP``
+    Simulate one application under one or all protocols.
+``figure {5,6,7,8,9}``
+    Regenerate a paper figure.
+``table {1,2,3,4}``
+    Regenerate a paper table.
+``ablation {relocation,replacement,placement}``
+    Run one of the design-choice ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.params import (
+    base_ccnuma_config,
+    base_rnuma_config,
+    base_scoma_config,
+    ideal_config,
+)
+from repro.experiments import (
+    compute_figure5,
+    compute_figure6,
+    compute_figure7,
+    compute_figure8,
+    compute_figure9,
+    compute_placement_ablation,
+    compute_relocation_ablation,
+    compute_replacement_ablation,
+    compute_table4,
+    format_ablation,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+)
+from repro.experiments.runner import ResultCache
+from repro.sim.engine import simulate
+from repro.workloads.registry import APPLICATIONS, build_program, workload_names
+
+_PROTOCOL_CONFIGS = {
+    "ideal": ideal_config,
+    "ccnuma": base_ccnuma_config,
+    "scoma": base_scoma_config,
+    "rnuma": base_rnuma_config,
+}
+
+_FIGURES = {
+    "5": (compute_figure5, format_figure5),
+    "6": (compute_figure6, format_figure6),
+    "7": (compute_figure7, format_figure7),
+    "8": (compute_figure8, format_figure8),
+    "9": (compute_figure9, format_figure9),
+}
+
+_ABLATIONS = {
+    "relocation": compute_relocation_ablation,
+    "replacement": compute_replacement_ablation,
+    "placement": compute_placement_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reactive NUMA (ISCA 1997) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the workload suite (Table 3)")
+
+    run_p = sub.add_parser("run", help="simulate one application")
+    run_p.add_argument("app", choices=workload_names())
+    run_p.add_argument(
+        "--protocol",
+        choices=sorted(_PROTOCOL_CONFIGS) + ["all"],
+        default="all",
+    )
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument(
+        "--threshold", type=int, default=64, help="R-NUMA relocation threshold"
+    )
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("number", choices=sorted(_FIGURES))
+    fig_p.add_argument("--scale", type=float, default=1.0)
+    fig_p.add_argument("--apps", nargs="*", default=None)
+
+    tab_p = sub.add_parser("table", help="regenerate a paper table")
+    tab_p.add_argument("number", choices=["1", "2", "3", "4"])
+    tab_p.add_argument("--scale", type=float, default=1.0)
+
+    abl_p = sub.add_parser("ablation", help="run a design-choice ablation")
+    abl_p.add_argument("which", choices=sorted(_ABLATIONS))
+    abl_p.add_argument("--scale", type=float, default=1.0)
+    abl_p.add_argument("--apps", nargs="*", default=None)
+
+    return parser
+
+
+def _cmd_list() -> None:
+    print(f"{'application':<12} {'problem':<42} paper input")
+    for name, (_, problem, paper_input) in APPLICATIONS.items():
+        print(f"{name:<12} {problem:<42} {paper_input}")
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    program = build_program(args.app, scale=args.scale)
+    print(f"{args.app}: {program.scaled_input} "
+          f"({program.total_accesses} accesses)\n")
+    names = (
+        list(_PROTOCOL_CONFIGS) if args.protocol == "all" else [args.protocol]
+    )
+    baseline = None
+    for name in names:
+        if name == "rnuma":
+            config = base_rnuma_config(threshold=args.threshold)
+        else:
+            config = _PROTOCOL_CONFIGS[name]()
+        result = simulate(config, program.traces)
+        if baseline is None:
+            baseline = result
+        print(f"{name:<8} {result.exec_cycles:>12,} cycles "
+              f"({result.normalized_to(baseline):.2f}x)  "
+              f"refetches={result.total('refetches'):,} "
+              f"relocations={result.total('relocations'):,}")
+
+
+def _cmd_figure(args: argparse.Namespace) -> None:
+    compute, render = _FIGURES[args.number]
+    result = compute(scale=args.scale, apps=args.apps, cache=ResultCache())
+    print(render(result))
+
+
+def _cmd_table(args: argparse.Namespace) -> None:
+    if args.number == "1":
+        print(format_table1())
+    elif args.number == "2":
+        print(format_table2())
+    elif args.number == "3":
+        print(format_table3(scale=args.scale))
+    else:
+        print(format_table4(compute_table4(scale=args.scale, cache=ResultCache())))
+
+
+def _cmd_ablation(args: argparse.Namespace) -> None:
+    compute = _ABLATIONS[args.which]
+    result = compute(scale=args.scale, apps=args.apps, cache=ResultCache())
+    print(format_ablation(result))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        _cmd_list()
+    elif args.command == "run":
+        _cmd_run(args)
+    elif args.command == "figure":
+        _cmd_figure(args)
+    elif args.command == "table":
+        _cmd_table(args)
+    elif args.command == "ablation":
+        _cmd_ablation(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

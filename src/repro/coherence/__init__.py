@@ -1,0 +1,29 @@
+"""Coherence machinery: MOESI line states, the inter-node directory
+protocol, and refetch detection (the signal R-NUMA reacts to).
+"""
+
+from repro.coherence.directory import Directory, DirectoryEntry, FetchOutcome
+from repro.coherence.states import (
+    EXCLUSIVE,
+    INVALID,
+    MODIFIED,
+    OWNED,
+    SHARED,
+    is_dirty,
+    is_valid,
+    state_name,
+)
+
+__all__ = [
+    "Directory",
+    "DirectoryEntry",
+    "EXCLUSIVE",
+    "FetchOutcome",
+    "INVALID",
+    "MODIFIED",
+    "OWNED",
+    "SHARED",
+    "is_dirty",
+    "is_valid",
+    "state_name",
+]

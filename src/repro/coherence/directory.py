@@ -1,0 +1,239 @@
+"""Inter-node directory protocol with refetch detection.
+
+One directory entry exists per cached-anywhere block, conceptually stored
+at the block's home node.  The protocol is *non-notifying*: nodes do not
+inform the home when they silently drop a clean (read-only) copy.  The
+home therefore still lists such nodes as sharers, which is exactly what
+makes refetch detection cheap (paper, Section 3.1):
+
+- A request from a node the directory believes already holds the block is
+  a **refetch** — the node must have lost it to a capacity or conflict
+  replacement.
+- For read-write blocks the directory keeps the node's *was-held* status
+  across a voluntary write-back (dirty eviction from the block cache), the
+  "additional state" the paper describes.
+- A coherence invalidation clears was-held, so misses caused by inter-node
+  communication are never misclassified as refetches.
+
+The directory stores no data; it answers each request with a
+:class:`FetchOutcome` telling the caller (the simulation engine) which
+nodes must be invalidated or downgraded and whether the request was a
+refetch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ProtocolError
+
+NO_OWNER = -1
+
+
+class DirectoryEntry:
+    """Sharing state for one block.
+
+    ``owner`` is the node holding the block exclusively (or NO_OWNER);
+    ``sharers`` are nodes the home believes hold a copy; ``was_held``
+    are nodes that have been handed the data and have not been
+    coherence-invalidated since — the refetch-detection set.
+    """
+
+    __slots__ = ("owner", "sharers", "was_held")
+
+    def __init__(self) -> None:
+        self.owner: int = NO_OWNER
+        self.sharers: set = set()
+        self.was_held: set = set()
+
+    def check(self) -> None:
+        """Raise ProtocolError if internal invariants are violated."""
+        if self.owner != NO_OWNER:
+            if self.sharers != {self.owner}:
+                raise ProtocolError(
+                    f"exclusive owner {self.owner} but sharers={self.sharers}"
+                )
+            if self.owner not in self.was_held:
+                raise ProtocolError("owner must be in was_held")
+
+
+class FetchOutcome:
+    """Result of a directory request.
+
+    Attributes
+    ----------
+    refetch:
+        The requester previously held this block and lost it to
+        replacement (capacity/conflict), not coherence.
+    prev_owner:
+        Node that held the block exclusively before this request
+        (NO_OWNER if none); it has been downgraded (read) or invalidated
+        (write) and the caller must update that node's local caches.
+    invalidated:
+        Nodes whose copies were invalidated by this request (write
+        requests only; excludes the requester).
+    """
+
+    __slots__ = ("refetch", "prev_owner", "invalidated")
+
+    def __init__(
+        self,
+        refetch: bool,
+        prev_owner: int = NO_OWNER,
+        invalidated: Tuple[int, ...] = (),
+    ) -> None:
+        self.refetch = refetch
+        self.prev_owner = prev_owner
+        self.invalidated = invalidated
+
+
+class Directory:
+    """All directory entries for the machine, keyed by block number.
+
+    The home-node association of blocks is kept by the placement map, not
+    here; the directory only needs entries for blocks that have been
+    requested at least once.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, block: int) -> DirectoryEntry:
+        e = self._entries.get(block)
+        if e is None:
+            e = DirectoryEntry()
+            self._entries[block] = e
+        return e
+
+    def peek(self, block: int) -> Optional[DirectoryEntry]:
+        """Entry for ``block`` if one exists (no allocation)."""
+        return self._entries.get(block)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # requests from remote nodes (and from the home itself)
+    # ------------------------------------------------------------------
+
+    def read_request(self, block: int, node: int) -> FetchOutcome:
+        """Node ``node`` asks the home for a readable copy of ``block``."""
+        e = self.entry(block)
+        refetch = node in e.was_held and node not in (e.owner,)
+        prev_owner = NO_OWNER
+        if e.owner != NO_OWNER and e.owner != node:
+            # Owner is downgraded to a shared copy; data returns home.
+            prev_owner = e.owner
+            e.owner = NO_OWNER
+        elif e.owner == node:
+            # The home thinks we own it but we are asking again: the node
+            # lost the line without telling us (silent eviction of a line
+            # it held exclusively clean, or an L1/block-cache race).
+            refetch = node in e.was_held
+            e.owner = NO_OWNER
+        e.sharers.add(node)
+        e.was_held.add(node)
+        return FetchOutcome(refetch, prev_owner=prev_owner)
+
+    def write_request(self, block: int, node: int, upgrade: bool = False) -> FetchOutcome:
+        """Node ``node`` asks for exclusive ownership of ``block``.
+
+        ``upgrade`` marks requests from a node that still holds a valid
+        read-only copy: a distinguishable message type in real
+        protocols, never a refetch (the node lost nothing to
+        replacement — it only needs write permission).
+        """
+        e = self.entry(block)
+        refetch = node in e.was_held and e.owner != node and not upgrade
+        prev_owner = e.owner if e.owner not in (NO_OWNER, node) else NO_OWNER
+        invalidated = tuple(n for n in e.sharers if n != node)
+        # Coherence invalidation clears was-held for every displaced node:
+        # their next miss is a communication miss, not a refetch.
+        e.sharers = {node}
+        e.was_held = {node}
+        e.owner = node
+        return FetchOutcome(refetch, prev_owner=prev_owner, invalidated=invalidated)
+
+    # ------------------------------------------------------------------
+    # home-node accesses to its own memory
+    #
+    # Local accesses never travel to a "home" (they are at home already),
+    # so they are never refetches; they only interact with the directory
+    # when a remote node holds the block exclusively (read) or holds any
+    # copy (write).
+    # ------------------------------------------------------------------
+
+    def home_read_access(self, block: int, home: int) -> FetchOutcome:
+        """The home node reads a block of its own memory."""
+        e = self._entries.get(block)
+        if e is None or e.owner in (NO_OWNER, home):
+            return FetchOutcome(False)
+        prev_owner = e.owner
+        e.owner = NO_OWNER
+        return FetchOutcome(False, prev_owner=prev_owner)
+
+    def home_write_access(self, block: int, home: int) -> FetchOutcome:
+        """The home node writes a block of its own memory.
+
+        All remote copies must be invalidated (and cleared from
+        was-held, so their next miss counts as coherence).
+        """
+        e = self._entries.get(block)
+        if e is None:
+            return FetchOutcome(False)
+        prev_owner = e.owner if e.owner not in (NO_OWNER, home) else NO_OWNER
+        invalidated = tuple(n for n in e.sharers if n != home)
+        e.owner = NO_OWNER
+        e.sharers = set()
+        e.was_held = set()
+        return FetchOutcome(False, prev_owner=prev_owner, invalidated=invalidated)
+
+    # ------------------------------------------------------------------
+    # notifications from nodes
+    # ------------------------------------------------------------------
+
+    def writeback(self, block: int, node: int) -> None:
+        """Voluntary write-back of a dirty block (block-cache eviction).
+
+        The node returns the data but — per the paper's refetch-detection
+        scheme — remains in ``was_held``: if it asks again without an
+        intervening coherence invalidation, that request is a refetch.
+        """
+        e = self._entries.get(block)
+        if e is None:
+            raise ProtocolError(f"writeback of untracked block {block}")
+        if e.owner == node:
+            e.owner = NO_OWNER
+        # Node keeps its sharer/was_held status (non-notifying protocol).
+
+    def flush(self, block: int, node: int) -> None:
+        """Explicit flush-and-forget (S-COMA replacement / page unmap).
+
+        Unlike :meth:`writeback`, the node relinquishes the block
+        entirely and the home forgets it ever held it.
+        """
+        e = self._entries.get(block)
+        if e is None:
+            return
+        if e.owner == node:
+            e.owner = NO_OWNER
+        e.sharers.discard(node)
+        e.was_held.discard(node)
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by tests and the harness)
+    # ------------------------------------------------------------------
+
+    def owner_of(self, block: int) -> int:
+        e = self._entries.get(block)
+        return e.owner if e is not None else NO_OWNER
+
+    def sharers_of(self, block: int) -> frozenset:
+        e = self._entries.get(block)
+        return frozenset(e.sharers) if e is not None else frozenset()
+
+    def was_held_by(self, block: int, node: int) -> bool:
+        e = self._entries.get(block)
+        return e is not None and node in e.was_held

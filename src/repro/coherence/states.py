@@ -1,0 +1,75 @@
+"""MOESI line states for the intra-node snoopy protocol.
+
+The paper's nodes keep their four processor caches consistent with a
+snoopy MOESI protocol modeled after Sparc's MBus.  States are small ints
+(not an Enum) because state checks dominate the simulator's hot path.
+
+========= ====================================================
+state     meaning
+========= ====================================================
+INVALID   not resident
+SHARED    clean, possibly other copies exist
+EXCLUSIVE clean, only copy in this node's hierarchy
+OWNED     dirty, other shared copies may exist (supplier)
+MODIFIED  dirty, only copy
+========= ====================================================
+"""
+
+from __future__ import annotations
+
+INVALID = 0
+SHARED = 1
+EXCLUSIVE = 2
+OWNED = 3
+MODIFIED = 4
+
+_NAMES = {
+    INVALID: "I",
+    SHARED: "S",
+    EXCLUSIVE: "E",
+    OWNED: "O",
+    MODIFIED: "M",
+}
+
+
+def state_name(state: int) -> str:
+    """One-letter mnemonic for a MOESI state."""
+    try:
+        return _NAMES[state]
+    except KeyError:
+        raise ValueError(f"not a MOESI state: {state!r}") from None
+
+
+def is_valid(state: int) -> bool:
+    """True for any resident state (everything but INVALID)."""
+    return state != INVALID
+
+
+def is_dirty(state: int) -> bool:
+    """True when the line holds data newer than its backing store."""
+    return state == MODIFIED or state == OWNED
+
+
+def can_supply(state: int) -> bool:
+    """True when a snooping cache must source the data (MBus rule).
+
+    MBus implements cache-to-cache transfer only for blocks a processor
+    *owns* (M or O) — plain SHARED copies do not respond, which is why
+    read misses on read-only remote blocks go all the way to the home
+    node even when a neighbour holds the block (paper, Section 4).
+    EXCLUSIVE lines also supply, as the unique on-node copy.
+    """
+    return state == MODIFIED or state == OWNED or state == EXCLUSIVE
+
+
+__all__ = [
+    "EXCLUSIVE",
+    "INVALID",
+    "MODIFIED",
+    "OWNED",
+    "SHARED",
+    "can_supply",
+    "is_dirty",
+    "is_valid",
+    "state_name",
+]

@@ -1,0 +1,94 @@
+"""Global physical address arithmetic.
+
+The machine exposes a single global physical address space.  Workloads emit
+plain integer addresses; this module slices them into blocks (coherence
+units) and pages (allocation units).  Homes are *not* encoded in address
+bits here — the paper encodes the node id in high-order bits, but for the
+simulator it is simpler and equivalent to keep an explicit page -> home map
+(built by the first-touch placement pass, see ``repro.osint.placement``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """Block/page geometry of the global physical address space.
+
+    Parameters
+    ----------
+    block_size:
+        Coherence unit in bytes (the paper's machines use 32-64 byte
+        lines; we default to 64).
+    page_size:
+        Allocation/translation unit in bytes (4 KB, typical of the era).
+    """
+
+    block_size: int = 64
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.block_size):
+            raise ConfigurationError(
+                f"block_size must be a power of two, got {self.block_size}"
+            )
+        if not _is_power_of_two(self.page_size):
+            raise ConfigurationError(
+                f"page_size must be a power of two, got {self.page_size}"
+            )
+        if self.page_size < self.block_size:
+            raise ConfigurationError(
+                "page_size must be >= block_size "
+                f"({self.page_size} < {self.block_size})"
+            )
+
+    @property
+    def block_shift(self) -> int:
+        """log2(block_size)."""
+        return self.block_size.bit_length() - 1
+
+    @property
+    def page_shift(self) -> int:
+        """log2(page_size)."""
+        return self.page_size.bit_length() - 1
+
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_size // self.block_size
+
+    def block_of(self, addr: int) -> int:
+        """Block number containing byte address ``addr``."""
+        return addr >> self.block_shift
+
+    def page_of(self, addr: int) -> int:
+        """Page number containing byte address ``addr``."""
+        return addr >> self.page_shift
+
+    def page_of_block(self, block: int) -> int:
+        """Page number containing block number ``block``."""
+        return block >> (self.page_shift - self.block_shift)
+
+    def blocks_in_page(self, page: int) -> range:
+        """All block numbers belonging to ``page``."""
+        first = page << (self.page_shift - self.block_shift)
+        return range(first, first + self.blocks_per_page)
+
+    def block_base(self, block: int) -> int:
+        """First byte address of block number ``block``."""
+        return block << self.block_shift
+
+    def page_base(self, page: int) -> int:
+        """First byte address of page number ``page``."""
+        return page << self.page_shift
+
+    def block_offset_in_page(self, block: int) -> int:
+        """Index of ``block`` within its page (0..blocks_per_page-1)."""
+        return block & (self.blocks_per_page - 1)

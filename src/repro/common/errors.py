@@ -1,0 +1,22 @@
+"""Exception hierarchy for the R-NUMA reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine, cache, or experiment configuration."""
+
+
+class ProtocolError(ReproError):
+    """An internal coherence-protocol invariant was violated.
+
+    Raised when the directory, a cache, or a protocol engine observes a
+    state transition that the MOESI/directory protocol does not permit.
+    These indicate bugs, not user errors.
+    """
+
+
+class TraceError(ReproError):
+    """A malformed workload trace (e.g. mismatched barriers)."""

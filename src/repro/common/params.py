@@ -1,0 +1,260 @@
+"""Machine, cache, and cost parameters (the paper's Table 2 and Section 4).
+
+All costs are in processor cycles at 400 MHz, exactly as the paper reports
+them:
+
+======================  =====================
+block operations        cost (cycles)
+======================  =====================
+SRAM access             8
+DRAM access             56
+local cache fill        69
+remote fetch            376
+======================  =====================
+
+======================  =====================
+page operations         cost (cycles)
+======================  =====================
+soft trap               2000   (5 us)
+TLB shootdown           200    (0.5 us, hardware)
+allocation/replacement  3000 ~ 11500
+or relocation           (varies with blocks flushed)
+======================  =====================
+
+The SOFT variants (Figure 9) double the page-fault time to 10 us (4000
+cycles) and use 5 us (2000 cycle) software TLB shootdowns via
+inter-processor interrupts, making per-page operations roughly three times
+more expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.addressing import AddressSpace
+from repro.common.errors import ConfigurationError
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Latency/occupancy constants, in processor cycles.
+
+    The per-page operation cost is decomposed as::
+
+        page_op = soft_trap + tlb_shootdown + page_setup
+                  + flush_per_block * blocks_flushed
+
+    With the base constants below an allocation that flushes nothing costs
+    3000 cycles and one that flushes a fully dirty 64-block page costs
+    ~11500 cycles — the paper's 3000~11500 range.
+    """
+
+    sram_access: int = 8
+    dram_access: int = 56
+    local_fill: int = 69
+    remote_fetch: int = 376
+    network_latency: int = 100
+
+    soft_trap: int = 2000
+    tlb_shootdown: int = 200
+    page_setup: int = 800
+    flush_per_block: int = 133
+
+    # Occupancy (resource busy time) for contention modeling.
+    bus_occupancy: int = 20
+    ni_occupancy: int = 24
+    rad_occupancy: int = 30
+    # Extra home-RAD occupancy per additional sharer invalidated on a
+    # write-ownership grant.
+    invalidate_per_sharer: int = 12
+    barrier_cost: int = 400
+
+    def __post_init__(self) -> None:
+        for name in (
+            "sram_access",
+            "dram_access",
+            "local_fill",
+            "remote_fetch",
+            "soft_trap",
+            "tlb_shootdown",
+            "page_setup",
+            "flush_per_block",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def page_op_cost(self, blocks_flushed: int) -> int:
+        """Cost of a page allocation, replacement, or relocation.
+
+        Parameters
+        ----------
+        blocks_flushed:
+            Number of (dirty or cached) blocks that must be flushed back
+            to the home node as part of the operation.
+        """
+        if blocks_flushed < 0:
+            raise ConfigurationError("blocks_flushed must be non-negative")
+        return (
+            self.soft_trap
+            + self.tlb_shootdown
+            + self.page_setup
+            + self.flush_per_block * blocks_flushed
+        )
+
+    @property
+    def page_op_base(self) -> int:
+        """Cost of a page operation that flushes no blocks."""
+        return self.soft_trap + self.tlb_shootdown + self.page_setup
+
+    def softened(self) -> "CostParams":
+        """The Figure 9 'SOFT' variant of these costs.
+
+        10 us page faults (4000 cycles) and 5 us software TLB shootdowns
+        via inter-processor interrupts (2000 cycles).
+        """
+        return replace(self, soft_trap=4000, tlb_shootdown=2000)
+
+
+BASE_COSTS = CostParams()
+SOFT_COSTS = BASE_COSTS.softened()
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Per-node cache sizing.
+
+    The paper's base system: 8-KB direct-mapped processor caches, a 32-KB
+    block cache for CC-NUMA, a 320-KB page cache for S-COMA, and for
+    R-NUMA a tiny 128-byte block cache plus the same 320-KB page cache.
+    """
+
+    l1_size: int = 8 * KB
+    block_cache_size: int = 32 * KB
+    page_cache_size: int = 320 * KB
+    #: page-cache replacement policy: "lrm" (paper), "lru", or "fifo"
+    page_replacement: str = "lrm"
+
+    _REPLACEMENT_POLICIES = ("lrm", "lru", "fifo")
+
+    def __post_init__(self) -> None:
+        if self.l1_size <= 0:
+            raise ConfigurationError("l1_size must be positive")
+        if self.block_cache_size < 0:
+            raise ConfigurationError("block_cache_size must be >= 0")
+        if self.page_cache_size < 0:
+            raise ConfigurationError("page_cache_size must be >= 0")
+        if self.page_replacement not in self._REPLACEMENT_POLICIES:
+            raise ConfigurationError(
+                f"unknown page_replacement {self.page_replacement!r}; "
+                f"expected one of {self._REPLACEMENT_POLICIES}"
+            )
+
+    def l1_blocks(self, space: AddressSpace) -> int:
+        return max(1, self.l1_size // space.block_size)
+
+    def block_cache_blocks(self, space: AddressSpace) -> int:
+        return max(0, self.block_cache_size // space.block_size)
+
+    def page_cache_frames(self, space: AddressSpace) -> int:
+        return max(0, self.page_cache_size // space.page_size)
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Cluster shape: number of SMP nodes and processors per node."""
+
+    nodes: int = 8
+    cpus_per_node: int = 4
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ConfigurationError("nodes must be positive")
+        if self.cpus_per_node <= 0:
+            raise ConfigurationError("cpus_per_node must be positive")
+
+    @property
+    def total_cpus(self) -> int:
+        return self.nodes * self.cpus_per_node
+
+    def node_of_cpu(self, cpu: int) -> int:
+        if not 0 <= cpu < self.total_cpus:
+            raise ConfigurationError(f"cpu id {cpu} out of range")
+        return cpu // self.cpus_per_node
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A complete system description handed to the simulator.
+
+    ``protocol`` selects the remote-caching strategy:
+
+    - ``"ccnuma"``  — block cache only (Section 2.1)
+    - ``"scoma"``   — page cache only (Section 2.2)
+    - ``"rnuma"``   — reactive hybrid (Section 3)
+    - ``"ideal"``   — CC-NUMA with an infinite block cache, the
+      normalization baseline of every figure in the paper.
+    """
+
+    protocol: str = "rnuma"
+    machine: MachineParams = field(default_factory=MachineParams)
+    caches: CacheParams = field(default_factory=CacheParams)
+    costs: CostParams = field(default_factory=CostParams)
+    space: AddressSpace = field(default_factory=AddressSpace)
+    relocation_threshold: int = 64
+    #: R-NUMA relocation implementation (Section 3.2's two designs):
+    #: "local" — an aggressive implementation moves the blocks the node
+    #: already holds straight into the page-cache frame (bound ~2);
+    #: "flush" — a less aggressive one flushes them home and refetches
+    #: on demand, making C_relocate ~ C_allocate (bound ~3).
+    relocation_mode: str = "local"
+
+    _PROTOCOLS = ("ccnuma", "scoma", "rnuma", "ideal")
+    _RELOCATION_MODES = ("local", "flush")
+
+    def __post_init__(self) -> None:
+        if self.protocol not in self._PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; "
+                f"expected one of {self._PROTOCOLS}"
+            )
+        if self.relocation_threshold <= 0:
+            raise ConfigurationError("relocation_threshold must be positive")
+        if self.relocation_mode not in self._RELOCATION_MODES:
+            raise ConfigurationError(
+                f"unknown relocation_mode {self.relocation_mode!r}; "
+                f"expected one of {self._RELOCATION_MODES}"
+            )
+
+    def with_protocol(self, protocol: str, **overrides) -> "SystemConfig":
+        """A copy of this config running a different protocol.
+
+        Keyword overrides are applied with :func:`dataclasses.replace`.
+        """
+        return replace(self, protocol=protocol, **overrides)
+
+
+def base_ccnuma_config() -> SystemConfig:
+    """Paper base CC-NUMA: 32-KB block cache."""
+    return SystemConfig(protocol="ccnuma", caches=CacheParams(block_cache_size=32 * KB))
+
+
+def base_scoma_config() -> SystemConfig:
+    """Paper base S-COMA: 320-KB page cache."""
+    return SystemConfig(protocol="scoma", caches=CacheParams(page_cache_size=320 * KB))
+
+
+def base_rnuma_config(threshold: int = 64) -> SystemConfig:
+    """Paper base R-NUMA: 128-byte block cache, 320-KB page cache, T=64."""
+    return SystemConfig(
+        protocol="rnuma",
+        caches=CacheParams(block_cache_size=128, page_cache_size=320 * KB),
+        relocation_threshold=threshold,
+    )
+
+
+def ideal_config() -> SystemConfig:
+    """CC-NUMA with an effectively infinite block cache."""
+    return SystemConfig(protocol="ideal")

@@ -1,0 +1,49 @@
+"""Trace records: the items workload generators emit.
+
+A per-processor trace is a list of :class:`TraceItem`.  There are two
+kinds:
+
+- :class:`Access` — a data reference: byte address, read/write, and the
+  number of compute ("think") cycles the processor spends *before* issuing
+  it.  Think cycles model the instruction stream between memory references
+  so that memory-system stalls are diluted realistically.
+- :class:`Barrier` — a global synchronization point.  All processors in
+  the machine must reach barrier *k* before any may proceed.  Barriers are
+  identified by their ordinal position; generators must emit the same
+  sequence of barrier ids on every processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+
+@dataclass(frozen=True)
+class Access:
+    """A single data reference issued by one processor."""
+
+    addr: int
+    is_write: bool = False
+    think: int = 0
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError(f"address must be non-negative, got {self.addr}")
+        if self.think < 0:
+            raise ValueError(f"think cycles must be non-negative, got {self.think}")
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """A global barrier; ``ident`` orders barriers within the program."""
+
+    ident: int
+
+    def __post_init__(self) -> None:
+        if self.ident < 0:
+            raise ValueError(f"barrier id must be non-negative, got {self.ident}")
+
+
+TraceItem = Union[Access, Barrier]
+Trace = List[TraceItem]

@@ -1,0 +1,65 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every ``compute_*`` function runs the required simulations (sharing a
+:class:`ResultCache` so overlapping configurations are simulated once)
+and returns a plain dataclass; every ``format_*`` function renders the
+same rows/series the paper reports as ASCII.
+"""
+
+from repro.experiments.config import (
+    EXPERIMENT_APPS,
+    cc_config,
+    ideal,
+    rnuma_config,
+    scoma_config,
+)
+from repro.experiments.runner import ResultCache, run_app
+from repro.experiments.ablations import (
+    compute_placement_ablation,
+    compute_relocation_ablation,
+    compute_replacement_ablation,
+    format_ablation,
+)
+from repro.experiments.extension_scaling import compute_scaling, format_scaling
+from repro.experiments.figure5 import compute_figure5, format_figure5
+from repro.experiments.figure6 import compute_figure6, format_figure6
+from repro.experiments.figure7 import compute_figure7, format_figure7
+from repro.experiments.figure8 import compute_figure8, format_figure8
+from repro.experiments.figure9 import compute_figure9, format_figure9
+from repro.experiments.table4 import compute_table4, format_table4
+from repro.experiments.tables import (
+    format_table1,
+    format_table2,
+    format_table3,
+)
+
+__all__ = [
+    "EXPERIMENT_APPS",
+    "ResultCache",
+    "cc_config",
+    "compute_figure5",
+    "compute_placement_ablation",
+    "compute_relocation_ablation",
+    "compute_replacement_ablation",
+    "compute_scaling",
+    "format_ablation",
+    "format_scaling",
+    "compute_figure6",
+    "compute_figure7",
+    "compute_figure8",
+    "compute_figure9",
+    "compute_table4",
+    "format_figure5",
+    "format_figure6",
+    "format_figure7",
+    "format_figure8",
+    "format_figure9",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "ideal",
+    "rnuma_config",
+    "run_app",
+    "scoma_config",
+]

@@ -1,0 +1,82 @@
+"""Named system configurations for the paper's experiments."""
+
+from __future__ import annotations
+
+from repro.common.params import (
+    KB,
+    MB,
+    CacheParams,
+    CostParams,
+    SOFT_COSTS,
+    SystemConfig,
+)
+from repro.workloads.registry import workload_names
+
+#: the ten applications, in the paper's figure order
+EXPERIMENT_APPS = tuple(workload_names())
+
+
+def ideal() -> SystemConfig:
+    """CC-NUMA with an infinite block cache (the normalization base)."""
+    return SystemConfig(protocol="ideal")
+
+
+def cc_config(block_cache: int = 32 * KB) -> SystemConfig:
+    """CC-NUMA with the given block-cache size (paper base: 32 KB)."""
+    return SystemConfig(
+        protocol="ccnuma", caches=CacheParams(block_cache_size=block_cache)
+    )
+
+
+def scoma_config(
+    page_cache: int = 320 * KB, costs: CostParams = None
+) -> SystemConfig:
+    """S-COMA with the given page-cache size (paper base: 320 KB)."""
+    kwargs = {}
+    if costs is not None:
+        kwargs["costs"] = costs
+    return SystemConfig(
+        protocol="scoma", caches=CacheParams(page_cache_size=page_cache), **kwargs
+    )
+
+
+def rnuma_config(
+    block_cache: int = 128,
+    page_cache: int = 320 * KB,
+    threshold: int = 64,
+    costs: CostParams = None,
+) -> SystemConfig:
+    """R-NUMA (paper base: 128-B block cache, 320-KB page cache, T=64)."""
+    kwargs = {}
+    if costs is not None:
+        kwargs["costs"] = costs
+    return SystemConfig(
+        protocol="rnuma",
+        caches=CacheParams(block_cache_size=block_cache, page_cache_size=page_cache),
+        relocation_threshold=threshold,
+        **kwargs,
+    )
+
+
+def scoma_soft_config(page_cache: int = 320 * KB) -> SystemConfig:
+    """Figure 9's S-COMA-SOFT: 10 us traps, 5 us software shootdowns."""
+    return scoma_config(page_cache, costs=SOFT_COSTS)
+
+
+def rnuma_soft_config(
+    block_cache: int = 128, page_cache: int = 320 * KB, threshold: int = 64
+) -> SystemConfig:
+    """Figure 9's R-NUMA-SOFT."""
+    return rnuma_config(block_cache, page_cache, threshold, costs=SOFT_COSTS)
+
+
+# Figure 7 cache-size sensitivity points.
+FIG7_CC_SMALL = 1 * KB
+FIG7_CC_LARGE = 32 * KB
+FIG7_R_SMALL_BLOCK = 128
+FIG7_R_LARGE_BLOCK = 32 * KB
+FIG7_R_BASE_PAGE = 320 * KB
+FIG7_R_HUGE_PAGE = 40 * MB
+
+# Figure 8 relocation thresholds.
+FIG8_THRESHOLDS = (16, 64, 256, 1024)

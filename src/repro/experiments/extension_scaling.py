@@ -1,0 +1,91 @@
+"""Extension experiment: cluster-size sensitivity.
+
+Not a figure in the paper — its conclusion explicitly flags that "the
+relative performance of a reactive system may vary with both
+application (e.g., working set size) and system (e.g., cache sizes)
+characteristics."  This experiment varies the *system* along the axis
+the paper holds fixed: the number of SMP nodes (4, 8, 16), keeping the
+paper's per-node caches.
+
+More nodes means each node homes a smaller share of the data: the
+remote working set per node shrinks (favouring S-COMA's fixed-size page
+cache) while the number of communication partners grows (favouring
+CC-NUMA's cheap misses).  R-NUMA's stability claim is that it tracks
+the winner at every size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.common.params import MachineParams
+from repro.experiments.config import cc_config, ideal, rnuma_config, scoma_config
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import ResultCache, run_app
+
+DEFAULT_SCALING_APPS = ("em3d", "moldyn", "barnes")
+NODE_COUNTS = (4, 8, 16)
+PROTOCOLS = ("CC-NUMA", "S-COMA", "R-NUMA")
+
+
+@dataclass
+class ScalingResult:
+    """normalized[(app, nodes)][protocol] = exec time vs ideal at that size."""
+
+    normalized: Dict[Tuple[str, int], Dict[str, float]] = field(default_factory=dict)
+    node_counts: Sequence[int] = NODE_COUNTS
+
+    def rnuma_vs_best(self, app: str, nodes: int) -> float:
+        row = self.normalized[(app, nodes)]
+        return row["R-NUMA"] / min(row["CC-NUMA"], row["S-COMA"])
+
+    def stability_bound(self) -> float:
+        """R-NUMA's worst slowdown vs the best protocol over all sizes."""
+        return max(
+            self.rnuma_vs_best(app, nodes) for app, nodes in self.normalized
+        )
+
+
+def compute_scaling(
+    scale: float = 1.0,
+    apps: Optional[Sequence[str]] = None,
+    cache: Optional[ResultCache] = None,
+    node_counts: Sequence[int] = NODE_COUNTS,
+) -> ScalingResult:
+    apps = list(apps or DEFAULT_SCALING_APPS)
+    out = ScalingResult(node_counts=tuple(node_counts))
+    for nodes in node_counts:
+        machine = MachineParams(nodes=nodes, cpus_per_node=4)
+        configs = {
+            "CC-NUMA": replace(cc_config(), machine=machine),
+            "S-COMA": replace(scoma_config(), machine=machine),
+            "R-NUMA": replace(rnuma_config(), machine=machine),
+        }
+        base_cfg = replace(ideal(), machine=machine)
+        for app in apps:
+            base = run_app(app, base_cfg, scale=scale, cache=cache)
+            out.normalized[(app, nodes)] = {
+                name: run_app(app, cfg, scale=scale, cache=cache).normalized_to(base)
+                for name, cfg in configs.items()
+            }
+    return out
+
+
+def format_scaling(result: ScalingResult) -> str:
+    headers = ["app", "nodes"] + list(PROTOCOLS) + ["R vs best"]
+    rows = []
+    for (app, nodes), row in sorted(result.normalized.items()):
+        rows.append(
+            [app, nodes]
+            + [row[p] for p in PROTOCOLS]
+            + [result.rnuma_vs_best(app, nodes)]
+        )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            "Extension: cluster-size sensitivity (4/8/16 nodes x 4 CPUs, "
+            "normalized per-size to ideal CC-NUMA)"
+        ),
+    )

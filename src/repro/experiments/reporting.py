@@ -1,0 +1,57 @@
+"""ASCII rendering helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple aligned text table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    series: Sequence[Sequence[float]],
+    series_names: Sequence[str],
+    title: str = "",
+    width: int = 40,
+    cap: float = 4.0,
+) -> str:
+    """Render grouped horizontal bars (one group per label), matching
+    the paper's normalized-execution-time figures."""
+    lines = []
+    if title:
+        lines.append(title)
+    name_w = max(len(n) for n in series_names)
+    for gi, label in enumerate(labels):
+        lines.append(label)
+        for si, name in enumerate(series_names):
+            value = series[si][gi]
+            filled = int(round(min(value, cap) / cap * width))
+            bar = "#" * filled
+            overflow = ">" if value > cap else ""
+            lines.append(
+                f"  {name.ljust(name_w)} |{bar}{overflow} {value:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

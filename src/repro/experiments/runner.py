@@ -1,0 +1,78 @@
+"""Run (application, configuration) pairs with memoization.
+
+The figures overlap heavily — the ideal baseline appears in every one,
+the base CC/S/R systems in several — so a shared :class:`ResultCache`
+avoids re-simulating.  Keys capture everything that affects a run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.params import SystemConfig
+from repro.sim.engine import simulate
+from repro.sim.results import SimulationResult
+from repro.workloads.registry import build_program
+
+
+def config_key(config: SystemConfig) -> Tuple:
+    """Hashable identity of a system configuration."""
+    return (
+        config.protocol,
+        config.machine.nodes,
+        config.machine.cpus_per_node,
+        config.caches.l1_size,
+        config.caches.block_cache_size,
+        config.caches.page_cache_size,
+        config.caches.page_replacement,
+        config.costs,
+        config.space.block_size,
+        config.space.page_size,
+        config.relocation_threshold,
+        config.relocation_mode,
+    )
+
+
+class ResultCache:
+    """Memoizes simulation results per (app, scale, config)."""
+
+    def __init__(self) -> None:
+        self._results: Dict[Tuple, SimulationResult] = {}
+
+    def run(
+        self, app: str, config: SystemConfig, scale: float = 1.0
+    ) -> SimulationResult:
+        key = (app, scale, config_key(config))
+        result = self._results.get(key)
+        if result is None:
+            program = build_program(
+                app, machine=config.machine, space=config.space, scale=scale
+            )
+            result = simulate(config, program.traces)
+            self._results[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def clear(self) -> None:
+        self._results.clear()
+
+
+_default_cache = ResultCache()
+
+
+def run_app(
+    app: str,
+    config: SystemConfig,
+    scale: float = 1.0,
+    cache: Optional[ResultCache] = None,
+) -> SimulationResult:
+    """Simulate one application under one configuration (memoized)."""
+    if cache is None:
+        cache = _default_cache
+    return cache.run(app, config, scale)
+
+
+def default_cache() -> ResultCache:
+    return _default_cache

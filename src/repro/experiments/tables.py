@@ -1,0 +1,71 @@
+"""Tables 1-3: the performance-model parameters, the machine cost
+assumptions, and the application suite.
+
+These tables are definitional (they describe inputs, not measurements),
+so formatting them verifies that the code's constants match the paper.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import BASE_COSTS, CostParams, SOFT_COSTS
+from repro.experiments.reporting import render_table
+from repro.model.competitive import CompetitiveModel, ModelParameters
+from repro.workloads.registry import APPLICATIONS, build_program
+
+
+def format_table1(costs: CostParams = BASE_COSTS) -> str:
+    """Table 1 parameters plus the EQ 1-3 results they imply."""
+    params = ModelParameters.from_costs(costs, blocks_flushed=32)
+    model = CompetitiveModel(params)
+    rows = [
+        ["C_refetch", f"{params.c_refetch:.0f}", "cost of refetching a remote block"],
+        ["C_allocate", f"{params.c_allocate:.0f}", "cost of allocating/replacing a page"],
+        ["C_relocate", f"{params.c_relocate:.0f}", "cost of relocating a page"],
+        ["T* (EQ 3)", f"{model.optimal_threshold:.1f}", "C_allocate / C_refetch"],
+        ["bound (EQ 3)", f"{model.bound_at_optimum:.2f}", "2 + C_relocate/C_allocate"],
+    ]
+    return render_table(
+        ["parameter", "value", "description"],
+        rows,
+        title="Table 1: competitive-model parameters (cycles) and EQ 3 results",
+    )
+
+
+def format_table2() -> str:
+    """Table 2: block/page operation costs (base and SOFT variants)."""
+    rows = [
+        ["SRAM access", BASE_COSTS.sram_access, SOFT_COSTS.sram_access],
+        ["DRAM access", BASE_COSTS.dram_access, SOFT_COSTS.dram_access],
+        ["local cache fill", BASE_COSTS.local_fill, SOFT_COSTS.local_fill],
+        ["remote fetch", BASE_COSTS.remote_fetch, SOFT_COSTS.remote_fetch],
+        ["soft trap", BASE_COSTS.soft_trap, SOFT_COSTS.soft_trap],
+        ["TLB shootdown", BASE_COSTS.tlb_shootdown, SOFT_COSTS.tlb_shootdown],
+        [
+            "page op (0 blocks flushed)",
+            BASE_COSTS.page_op_cost(0),
+            SOFT_COSTS.page_op_cost(0),
+        ],
+        [
+            "page op (64 blocks flushed)",
+            BASE_COSTS.page_op_cost(64),
+            SOFT_COSTS.page_op_cost(64),
+        ],
+    ]
+    return render_table(
+        ["operation", "base (cycles)", "SOFT (cycles)"],
+        rows,
+        title="Table 2: system cost assumptions",
+    )
+
+
+def format_table3(scale: float = 1.0) -> str:
+    """Table 3: applications, paper inputs, and our scaled inputs."""
+    rows = []
+    for name, (_, problem, paper_input) in APPLICATIONS.items():
+        program = build_program(name, scale=scale)
+        rows.append([name, problem, paper_input, program.scaled_input])
+    return render_table(
+        ["application", "problem", "paper input", "scaled input"],
+        rows,
+        title="Table 3: applications and input parameters",
+    )

@@ -1,0 +1,15 @@
+"""Interconnect timing: the split-transaction memory bus inside each node,
+the network interface / remote-access-device occupancy, and the
+point-to-point network.
+
+Contention is modeled with busy-until resources: a transaction arriving
+at time *t* waits until the resource frees, occupies it for a fixed
+occupancy, and the wait is added to the requester's latency.  This is the
+level of detail the paper models ("we model contention at the memory bus
+... and at the network interfaces", Section 4).
+"""
+
+from repro.interconnect.network import Network
+from repro.interconnect.resource import BusyResource
+
+__all__ = ["BusyResource", "Network"]

@@ -1,0 +1,61 @@
+"""Point-to-point inter-node network.
+
+The paper assumes a constant-latency (100 cycle) point-to-point network
+and models contention at the network interfaces, not inside the fabric.
+``Network`` owns one :class:`BusyResource` per node for the NI and one
+for the home protocol controller (RAD), and computes the end-to-end
+delay of a request/response round trip.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import CostParams
+from repro.interconnect.resource import BusyResource
+
+
+class Network:
+    """Fixed-latency fabric with per-node NI and RAD occupancy."""
+
+    __slots__ = ("nodes", "latency", "_costs", "nis", "rads", "messages")
+
+    def __init__(self, nodes: int, costs: CostParams) -> None:
+        if nodes <= 0:
+            raise ConfigurationError("network needs at least one node")
+        self.nodes = nodes
+        self.latency = costs.network_latency
+        self._costs = costs
+        self.nis: List[BusyResource] = [BusyResource(f"ni{n}") for n in range(nodes)]
+        self.rads: List[BusyResource] = [BusyResource(f"rad{n}") for n in range(nodes)]
+        self.messages = 0
+
+    def round_trip_delay(self, src: int, dst: int, now: int, extra_home_occupancy: int = 0) -> int:
+        """Queueing delay for a request from ``src`` serviced at ``dst``.
+
+        The fixed wire/service latency (2x network + DRAM etc.) is part
+        of the caller's ``remote_fetch`` constant; this method returns
+        only the *added* contention delay and charges occupancy to the
+        source NI and the destination RAD.
+        """
+        self.messages += 1
+        wait = self.nis[src].acquire(now, self._costs.ni_occupancy)
+        arrive = now + wait + self._costs.ni_occupancy + self.latency
+        wait += self.rads[dst].acquire(
+            arrive, self._costs.rad_occupancy + extra_home_occupancy
+        )
+        return wait
+
+    def one_way_delay(self, src: int, now: int) -> int:
+        """Contention delay for a fire-and-forget message (write-back,
+        flush): only the source NI is on the requester's critical path."""
+        self.messages += 1
+        return self.nis[src].acquire(now, self._costs.ni_occupancy)
+
+    def reset(self) -> None:
+        for r in self.nis:
+            r.reset()
+        for r in self.rads:
+            r.reset()
+        self.messages = 0

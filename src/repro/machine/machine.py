@@ -1,0 +1,87 @@
+"""The whole distributed shared-memory machine.
+
+A :class:`Machine` owns the nodes, the inter-node directory, the network,
+and the page->home placement map.  It is pure state; the simulation
+engine drives it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.coherence.directory import Directory
+from repro.common.errors import ConfigurationError
+from repro.common.params import SystemConfig
+from repro.common.stats import StatsRegistry
+from repro.interconnect.network import Network
+from repro.machine.node import Node
+
+
+class Machine:
+    """Nodes + directory + network for one simulation run."""
+
+    __slots__ = (
+        "config",
+        "nodes",
+        "directory",
+        "network",
+        "home_of",
+        "stats",
+        "page_requesters",
+        "page_writers",
+        "refetch_counts",
+    )
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.nodes: List[Node] = [
+            Node(n, config) for n in range(config.machine.nodes)
+        ]
+        self.directory = Directory()
+        self.network = Network(config.machine.nodes, config.costs)
+        # page -> home node, filled by first-touch placement.
+        self.home_of: Dict[int, int] = {}
+        self.stats = StatsRegistry(nodes=[node.stats for node in self.nodes])
+
+        # Page-level characterization (Figure 5 / Table 4):
+        # which nodes requested blocks of each page, whether any node
+        # wrote it, and cumulative refetches per (node, page).
+        self.page_requesters: Dict[int, set] = {}
+        self.page_writers: Dict[int, set] = {}
+        self.refetch_counts: Dict[int, Dict[int, int]] = {}
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def home(self, page: int) -> int:
+        try:
+            return self.home_of[page]
+        except KeyError:
+            raise ConfigurationError(
+                f"page {page} has no home; run first-touch placement first"
+            ) from None
+
+    def record_refetch(self, node_id: int, page: int) -> None:
+        per_node = self.refetch_counts.setdefault(node_id, {})
+        per_node[page] = per_node.get(page, 0) + 1
+
+    def refetches_by_page(self) -> Dict[int, int]:
+        """Total refetches per page, summed over nodes (Figure 5 data)."""
+        totals: Dict[int, int] = {}
+        for per_node in self.refetch_counts.values():
+            for page, count in per_node.items():
+                totals[page] = totals.get(page, 0) + count
+        return totals
+
+    def read_write_shared_pages(self) -> set:
+        """Pages with sharing traffic in both directions (Table 4 col 1).
+
+        A page counts as read-write shared when blocks of it were
+        requested by at least two distinct nodes and at least one request
+        was for write ownership.
+        """
+        rw = set()
+        for page, requesters in self.page_requesters.items():
+            if len(requesters) >= 2 and self.page_writers.get(page):
+                rw.add(page)
+        return rw

@@ -1,0 +1,80 @@
+"""One SMP node: processors with private L1s, a memory bus, and the
+remote-access device (block cache, page cache, fine-grain tags,
+translation table, reactive counters).
+
+Which of these components a given protocol actually exercises is decided
+by the protocol policy; the node always carries all of them (an R-NUMA
+RAD *is* the union of the CC-NUMA and S-COMA RADs, paper Figure 4a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.caches.block_cache import BlockCache
+from repro.caches.finegrain import FineGrainTags
+from repro.caches.l1 import L1Cache
+from repro.caches.page_cache import PageCache
+from repro.common.params import SystemConfig
+from repro.common.stats import NodeStats
+from repro.interconnect.resource import BusyResource
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import Tlb
+from repro.vm.translation import TranslationTable
+
+
+class Node:
+    """Hardware state for one SMP node."""
+
+    __slots__ = (
+        "node_id",
+        "l1s",
+        "tlbs",
+        "bus",
+        "block_cache",
+        "page_cache",
+        "tags",
+        "xlat",
+        "page_table",
+        "refetch_counters",
+        "coherence_lost",
+        "stats",
+    )
+
+    def __init__(self, node_id: int, config: SystemConfig) -> None:
+        self.node_id = node_id
+        space = config.space
+        caches = config.caches
+        cpus = config.machine.cpus_per_node
+
+        self.l1s: List[L1Cache] = [
+            L1Cache(caches.l1_blocks(space)) for _ in range(cpus)
+        ]
+        self.tlbs: List[Tlb] = [Tlb() for _ in range(cpus)]
+        self.bus = BusyResource(f"bus{node_id}")
+
+        if config.protocol == "ideal":
+            self.block_cache = BlockCache.infinite_cache()
+        else:
+            self.block_cache = BlockCache(caches.block_cache_blocks(space))
+
+        if config.protocol in ("scoma", "rnuma"):
+            frames = caches.page_cache_frames(space)
+        else:
+            frames = 0
+        self.page_cache = PageCache(frames, policy=caches.page_replacement)
+        self.tags = FineGrainTags(space.blocks_per_page)
+        self.xlat = TranslationTable()
+        self.page_table = PageTable()
+
+        # R-NUMA per-page refetch counters (the RAD's reactive counters).
+        self.refetch_counters: Dict[int, int] = {}
+        # Blocks this node lost to inter-node coherence invalidations;
+        # used to classify the next miss as a coherence miss.
+        self.coherence_lost: Set[int] = set()
+
+        self.stats = NodeStats()
+
+    @property
+    def cpu_count(self) -> int:
+        return len(self.l1s)

@@ -1,0 +1,143 @@
+"""The paper's competitive worst-case model (Section 3.2, Table 1).
+
+The model compares per-page overheads against an ideal CC-NUMA with an
+infinite block cache:
+
+- ``O_CC-NUMA  = T * C_refetch``                         (refetches only)
+- ``O_S-COMA   = C_allocate``                            (allocate/replace)
+- ``O_R-NUMA   = T * C_refetch + C_relocate + C_allocate``
+
+giving the worst-case ratios (EQ 1 and EQ 2)::
+
+    O_R / O_CC = (T*Cref + Crel + Calloc) / (T*Cref)
+    O_R / O_S  = (T*Cref + Crel + Calloc) / Calloc
+
+The two ratios intersect (EQ 3) at ``T* = C_allocate / C_refetch`` where
+both equal ``2 + C_relocate / C_allocate`` — between 2 (aggressive
+relocation hardware) and 3 (relocation as expensive as allocation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import CostParams
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Table 1 parameters: the three per-page operation costs.
+
+    ``c_refetch``  — cost of refetching a remote block;
+    ``c_allocate`` — cost of allocating and later replacing a page;
+    ``c_relocate`` — cost of relocating a page CC-NUMA -> S-COMA.
+    """
+
+    c_refetch: float
+    c_allocate: float
+    c_relocate: float
+
+    def __post_init__(self) -> None:
+        if self.c_refetch <= 0:
+            raise ConfigurationError("c_refetch must be positive")
+        if self.c_allocate <= 0:
+            raise ConfigurationError("c_allocate must be positive")
+        if self.c_relocate < 0:
+            raise ConfigurationError("c_relocate must be non-negative")
+
+    @classmethod
+    def from_costs(
+        cls, costs: CostParams, blocks_flushed: int = 0
+    ) -> "ModelParameters":
+        """Derive model parameters from a Table 2 cost set.
+
+        ``blocks_flushed`` sets where in the 3000~11500 range the page
+        operations fall (0 = empty page, 64 = fully cached page).
+        """
+        page_op = float(costs.page_op_cost(blocks_flushed))
+        return cls(
+            c_refetch=float(costs.remote_fetch),
+            c_allocate=page_op,
+            c_relocate=page_op,
+        )
+
+
+def optimal_threshold(params: ModelParameters) -> float:
+    """EQ 3's threshold: T* = C_allocate / C_refetch.
+
+    Independent of the relocation cost — it balances CC-NUMA's refetch
+    overhead against S-COMA's allocation overhead.
+    """
+    return params.c_allocate / params.c_refetch
+
+
+def worst_case_bound(params: ModelParameters) -> float:
+    """EQ 3's bound at T*: 2 + C_relocate / C_allocate."""
+    return 2.0 + params.c_relocate / params.c_allocate
+
+
+class CompetitiveModel:
+    """Closed-form overheads and ratios for a given parameter set."""
+
+    def __init__(self, params: ModelParameters) -> None:
+        self.params = params
+
+    # -- per-page overheads (relative to ideal CC-NUMA) ------------------
+
+    def overhead_ccnuma(self, threshold: float) -> float:
+        """O_CC-NUMA for the worst-case page: T refetches."""
+        self._check_threshold(threshold)
+        return threshold * self.params.c_refetch
+
+    def overhead_scoma(self) -> float:
+        """O_S-COMA: one allocation/replacement."""
+        return self.params.c_allocate
+
+    def overhead_rnuma(self, threshold: float) -> float:
+        """O_R-NUMA: T refetches, then relocate, then replace."""
+        self._check_threshold(threshold)
+        return (
+            threshold * self.params.c_refetch
+            + self.params.c_relocate
+            + self.params.c_allocate
+        )
+
+    # -- worst-case ratios (EQ 1, EQ 2) ----------------------------------
+
+    def ratio_vs_ccnuma(self, threshold: float) -> float:
+        """EQ 1: how much worse than CC-NUMA R-NUMA can be."""
+        return self.overhead_rnuma(threshold) / self.overhead_ccnuma(threshold)
+
+    def ratio_vs_scoma(self, threshold: float) -> float:
+        """EQ 2: how much worse than S-COMA R-NUMA can be."""
+        return self.overhead_rnuma(threshold) / self.overhead_scoma()
+
+    def worst_ratio(self, threshold: float) -> float:
+        """max(EQ 1, EQ 2) — the quantity the threshold minimizes."""
+        return max(self.ratio_vs_ccnuma(threshold), self.ratio_vs_scoma(threshold))
+
+    # -- EQ 3 ------------------------------------------------------------
+
+    @property
+    def optimal_threshold(self) -> float:
+        return optimal_threshold(self.params)
+
+    @property
+    def bound_at_optimum(self) -> float:
+        return worst_case_bound(self.params)
+
+    def verify_intersection(self, tol: float = 1e-9) -> bool:
+        """Check EQ 3: at T* both ratios equal 2 + Crel/Calloc."""
+        t = self.optimal_threshold
+        expected = self.bound_at_optimum
+        return (
+            math.isclose(self.ratio_vs_ccnuma(t), expected, rel_tol=tol)
+            and math.isclose(self.ratio_vs_scoma(t), expected, rel_tol=tol)
+        )
+
+    @staticmethod
+    def _check_threshold(threshold: float) -> None:
+        if threshold <= 0:
+            raise ConfigurationError("threshold must be positive")

@@ -1,0 +1,75 @@
+"""First-touch page placement.
+
+The paper uses a first-touch migration policy: at the start of the
+parallel phase, the first node to request a page becomes its home
+(Section 2.1, citing Marchetti et al.).  For a trace-driven simulator
+that is equivalent to a pre-pass over the merged trace assigning each
+page's home to the node of the first processor that touches it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.addressing import AddressSpace
+from repro.common.params import MachineParams
+from repro.common.records import Access
+
+
+def round_robin_homes(
+    traces: Sequence[Sequence[object]],
+    machine: MachineParams,
+    space: AddressSpace,
+) -> Dict[int, int]:
+    """Assign touched pages to nodes round-robin by page number.
+
+    The naive placement the paper's first-touch policy is measured
+    against (LaRowe & Ellis; Marchetti et al.): page p lives on node
+    ``p % nodes`` regardless of who uses it.  Used by the placement
+    ablation benchmark.
+    """
+    homes: Dict[int, int] = {}
+    for trace in traces:
+        for item in trace:
+            if isinstance(item, Access):
+                page = space.page_of(item.addr)
+                if page not in homes:
+                    homes[page] = page % machine.nodes
+    return homes
+
+
+def first_touch_homes(
+    traces: Sequence[Sequence[object]],
+    machine: MachineParams,
+    space: AddressSpace,
+) -> Dict[int, int]:
+    """Assign each touched page a home node by first touch.
+
+    ``traces`` is one item sequence per CPU (global CPU ids).  Processors
+    advance in lockstep over their traces for the purposes of "first":
+    the interleaving is round-robin by item index, a faithful stand-in
+    for the paper's "touch pages during initialization" idiom, where
+    every node touches its own data before the timed phase.
+
+    Returns a page -> home-node dict.
+    """
+    homes: Dict[int, int] = {}
+    cursors: List[int] = [0] * len(traces)
+    remaining = sum(len(t) for t in traces)
+    while remaining:
+        progressed = False
+        for cpu, trace in enumerate(traces):
+            i = cursors[cpu]
+            if i >= len(trace):
+                continue
+            item = trace[i]
+            cursors[cpu] = i + 1
+            remaining -= 1
+            progressed = True
+            if isinstance(item, Access):
+                page = space.page_of(item.addr)
+                if page not in homes:
+                    homes[page] = machine.node_of_cpu(cpu)
+        if not progressed:
+            break
+    return homes

@@ -1,0 +1,42 @@
+"""DSM protocol policies.
+
+The three systems in the paper (plus the ideal normalization baseline)
+share one coherence protocol and differ only in *where remote data is
+cached* and *what the OS does on a page fault / refetch*.  Each policy
+class answers exactly those questions; the simulation engine handles
+everything else uniformly.
+"""
+
+from repro.protocols.base import ProtocolPolicy
+from repro.protocols.ccnuma import CCNumaPolicy
+from repro.protocols.ideal import IdealPolicy
+from repro.protocols.rnuma import RNumaPolicy
+from repro.protocols.scoma import SComaPolicy
+
+_POLICIES = {
+    "ccnuma": CCNumaPolicy,
+    "scoma": SComaPolicy,
+    "rnuma": RNumaPolicy,
+    "ideal": IdealPolicy,
+}
+
+
+def make_policy(name: str) -> ProtocolPolicy:
+    """Instantiate the policy for a :class:`SystemConfig` protocol name."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "CCNumaPolicy",
+    "IdealPolicy",
+    "ProtocolPolicy",
+    "RNumaPolicy",
+    "SComaPolicy",
+    "make_policy",
+]

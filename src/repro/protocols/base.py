@@ -1,0 +1,35 @@
+"""Protocol policy interface.
+
+A policy is consulted at the two *rare* decision points — page faults and
+refetch notifications — so the per-access hot path stays branch-light.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.machine.machine import Machine
+from repro.machine.node import Node
+
+
+class ProtocolPolicy(abc.ABC):
+    """Per-protocol OS/RAD behaviour."""
+
+    #: human-readable protocol name
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_page_fault(self, machine: Machine, node: Node, page: int) -> int:
+        """Handle the first touch of a remote page on ``node``.
+
+        Must leave the page mapped (CC or S-COMA) and return the cycle
+        cost charged to the faulting processor.
+        """
+
+    def on_refetch(self, machine: Machine, node: Node, page: int) -> int:
+        """Called when the home flags a request as a refetch.
+
+        Returns extra cycles charged to the requesting processor
+        (e.g. a relocation interrupt).  Default: do nothing.
+        """
+        return 0

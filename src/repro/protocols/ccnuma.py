@@ -1,0 +1,22 @@
+"""Pure CC-NUMA (paper Section 2.1).
+
+Every remote page is mapped straight to its global physical address; the
+block cache is the only node-level store for remote data.  Refetches are
+simply paid.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.machine.node import Node
+from repro.osint.services import map_cc_page
+from repro.protocols.base import ProtocolPolicy
+
+
+class CCNumaPolicy(ProtocolPolicy):
+    """Map remote pages CC-NUMA; never relocate."""
+
+    name = "ccnuma"
+
+    def on_page_fault(self, machine: Machine, node: Node, page: int) -> int:
+        return map_cc_page(machine, node, page)

@@ -1,0 +1,23 @@
+"""Ideal CC-NUMA: the paper's normalization baseline.
+
+A CC-NUMA machine whose block cache is large enough to hold all remote
+data ever referenced — so it sees cold and coherence misses but never a
+capacity or conflict refetch.  The node builder gives ``"ideal"``
+machines an infinite block cache; fault handling is ordinary CC-NUMA.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.machine.node import Node
+from repro.osint.services import map_cc_page
+from repro.protocols.base import ProtocolPolicy
+
+
+class IdealPolicy(ProtocolPolicy):
+    """CC-NUMA with an infinite block cache."""
+
+    name = "ideal"
+
+    def on_page_fault(self, machine: Machine, node: Node, page: int) -> int:
+        return map_cc_page(machine, node, page)

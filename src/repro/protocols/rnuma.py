@@ -1,0 +1,43 @@
+"""Reactive NUMA (paper Section 3) — the primary contribution.
+
+Remote pages start CC-NUMA.  The RAD keeps a per-page refetch counter;
+when a page's count exceeds the relocation threshold the OS is
+interrupted and the page is relocated into the S-COMA page cache.  Pages
+evicted from the page cache become unmapped again and restart life as
+CC-NUMA on the next touch — so pages can bounce in both directions, as
+the paper observes for lu, fmm, and radix.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.machine.node import Node
+from repro.osint.services import map_cc_page, relocate_page_to_scoma
+from repro.protocols.base import ProtocolPolicy
+from repro.vm.page_table import MAP_CC
+
+
+class RNumaPolicy(ProtocolPolicy):
+    """CC-NUMA first; relocate reuse pages to the page cache."""
+
+    name = "rnuma"
+
+    def on_page_fault(self, machine: Machine, node: Node, page: int) -> int:
+        return map_cc_page(machine, node, page)
+
+    def on_refetch(self, machine: Machine, node: Node, page: int) -> int:
+        """Count the refetch; relocate when the threshold is crossed.
+
+        Only CC-mapped pages are candidates: refetches to S-mapped pages
+        (rare — e.g. a block invalidated and silently dropped) have
+        nowhere better to go.
+        """
+        if node.page_table.mapping_of(page) != MAP_CC:
+            return 0
+        count = node.refetch_counters.get(page, 0) + 1
+        threshold = machine.config.relocation_threshold
+        if count >= threshold:
+            # The relocation interrupt fires; the OS moves the page.
+            return relocate_page_to_scoma(machine, node, page)
+        node.refetch_counters[page] = count
+        return 0

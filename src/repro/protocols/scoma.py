@@ -1,0 +1,22 @@
+"""Pure S-COMA (paper Section 2.2).
+
+Every remote page lives in the page cache: the fault handler allocates a
+frame (replacing the least-recently-missed page when full) and fine-grain
+tags steer hits to local memory / misses to the home node.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import Machine
+from repro.machine.node import Node
+from repro.osint.services import allocate_scoma_page
+from repro.protocols.base import ProtocolPolicy
+
+
+class SComaPolicy(ProtocolPolicy):
+    """Map every remote page into the S-COMA page cache."""
+
+    name = "scoma"
+
+    def on_page_fault(self, machine: Machine, node: Node, page: int) -> int:
+        return allocate_scoma_page(machine, node, page)

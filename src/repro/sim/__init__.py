@@ -1,0 +1,9 @@
+"""Execution engine: drives per-processor traces through the machine
+model with per-processor clocks, contention, and barrier synchronization,
+and produces a :class:`SimulationResult`.
+"""
+
+from repro.sim.engine import SimulationEngine, simulate
+from repro.sim.results import SimulationResult
+
+__all__ = ["SimulationEngine", "SimulationResult", "simulate"]

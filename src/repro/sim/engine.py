@@ -1,0 +1,588 @@
+"""Trace-driven simulation engine.
+
+Drives one trace per processor through the machine model:
+
+- per-processor clocks advanced through a min-heap scheduler;
+- an inlined L1 fast path (hits are the overwhelming majority of
+  references and must stay cheap in pure Python);
+- a full miss path implementing the intra-node MOESI snoop, the three
+  remote-caching strategies (block cache / page cache / local memory),
+  the inter-node directory protocol with refetch detection, and the OS
+  services (faults, allocation, replacement, relocation);
+- busy-until contention for the node bus, network interfaces, and home
+  protocol controllers;
+- global barriers.
+
+Timing constants come from :class:`repro.common.params.CostParams`
+(the paper's Table 2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from repro.caches.finegrain import BLOCK_INVALID, BLOCK_READONLY, BLOCK_WRITABLE
+from repro.coherence.states import (
+    EXCLUSIVE,
+    INVALID,
+    MODIFIED,
+    OWNED,
+    SHARED,
+)
+from repro.common.errors import TraceError
+from repro.common.params import SystemConfig
+from repro.common.records import Access, Barrier
+from repro.machine.machine import Machine
+from repro.machine.node import Node
+from repro.osint.placement import first_touch_homes
+from repro.protocols import make_policy
+from repro.sim.results import SimulationResult
+from repro.vm.page_table import MAP_CC, MAP_LOCAL, MAP_SCOMA, MAP_UNMAPPED
+
+# Compact trace item encodings used internally (tuples are ~2x faster to
+# destructure than dataclass attribute access in the hot loop).
+_KIND_ACCESS = 0
+_KIND_BARRIER = 1
+
+
+def _compile_traces(traces: Sequence[Sequence[object]]):
+    """Convert Access/Barrier records into tuple lists and validate
+    that every processor passes the same barrier sequence."""
+    compiled = []
+    barrier_seqs = []
+    for trace in traces:
+        items = []
+        barriers = []
+        for item in trace:
+            if isinstance(item, Access):
+                items.append((_KIND_ACCESS, item.addr, item.is_write, item.think))
+            elif isinstance(item, Barrier):
+                items.append((_KIND_BARRIER, item.ident, False, 0))
+                barriers.append(item.ident)
+            else:
+                raise TraceError(f"unknown trace item: {item!r}")
+        compiled.append(items)
+        barrier_seqs.append(barriers)
+    first = barrier_seqs[0] if barrier_seqs else []
+    for cpu, seq in enumerate(barrier_seqs):
+        if seq != first:
+            raise TraceError(
+                f"cpu {cpu} barrier sequence {seq[:8]}... does not match cpu 0"
+            )
+    return compiled
+
+
+class SimulationEngine:
+    """One simulation run: a machine, a policy, and a set of traces."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: Sequence[Sequence[object]],
+        homes: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if len(traces) != config.machine.total_cpus:
+            raise TraceError(
+                f"expected {config.machine.total_cpus} traces, got {len(traces)}"
+            )
+        self.config = config
+        self.machine = Machine(config)
+        self.policy = make_policy(config.protocol)
+        self._traces = _compile_traces(traces)
+        space = config.space
+        if homes is None:
+            homes = first_touch_homes(traces, config.machine, space)
+        self.homes = homes
+
+        # Pre-map every page at its home node.
+        for page, home in homes.items():
+            self.machine.nodes[home].page_table.map_local(page)
+
+        # Per-CPU wiring.
+        mp = config.machine
+        self._node_of_cpu = [mp.node_of_cpu(c) for c in range(mp.total_cpus)]
+        self._l1_of_cpu = []
+        self._cpu_slot = []  # index of the cpu within its node
+        for c in range(mp.total_cpus):
+            node = self.machine.nodes[self._node_of_cpu[c]]
+            slot = c % mp.cpus_per_node
+            self._l1_of_cpu.append(node.l1s[slot])
+            self._cpu_slot.append(slot)
+
+        self._block_shift = space.block_shift
+        self._page_shift = space.page_shift
+        self._block_page_shift = space.page_shift - space.block_shift
+        self._bpp_mask = space.blocks_per_page - 1
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        costs = self.config.costs
+        barrier_cost = costs.barrier_cost
+        block_shift = self._block_shift
+        traces = self._traces
+        n_cpus = len(traces)
+        l1s = self._l1_of_cpu
+        nodes = [self.machine.nodes[self._node_of_cpu[c]] for c in range(n_cpus)]
+
+        ptr = [0] * n_cpus
+        finish = [0] * n_cpus
+        heap = [(0, c) for c in range(n_cpus)]
+        heapq.heapify(heap)
+        barrier_arrivals: Dict[int, List] = {}
+        running = n_cpus
+        # cpus currently parked at a barrier are not in the heap
+
+        miss = self._miss  # bind
+
+        while heap:
+            t, cpu = heapq.heappop(heap)
+            items = traces[cpu]
+            i = ptr[cpu]
+            if i >= len(items):
+                finish[cpu] = t
+                running -= 1
+                continue
+            kind, a, w, think = items[i]
+            ptr[cpu] = i + 1
+            if kind == _KIND_ACCESS:
+                now = t + think
+                l1 = l1s[cpu]
+                b = a >> block_shift
+                idx = b & l1.mask
+                st = l1.state_at[idx] if l1.block_at.get(idx) == b else 0
+                node = nodes[cpu]
+                if st and (not w or st >= 4 or st == 2):
+                    # L1 hit: read in any valid state, or write in M/E.
+                    if w and st == 2:  # EXCLUSIVE -> MODIFIED
+                        l1.state_at[idx] = 4
+                    node.stats.l1_hits += 1
+                    node.stats.busy_cycles += think + 1
+                    heapq.heappush(heap, (now + 1, cpu))
+                else:
+                    node.stats.l1_misses += 1
+                    latency = miss(cpu, node, l1, b, w, st, now)
+                    node.stats.busy_cycles += think + 1
+                    node.stats.stall_cycles += latency
+                    heapq.heappush(heap, (now + 1 + latency, cpu))
+            else:
+                # Barrier: park this cpu until everyone arrives.
+                arrivals = barrier_arrivals.setdefault(a, [])
+                arrivals.append((t, cpu))
+                if len(arrivals) == n_cpus:
+                    release = max(at for at, _ in arrivals) + barrier_cost
+                    for at, c2 in arrivals:
+                        nodes[c2].stats.barrier_wait_cycles += release - at
+                        heapq.heappush(heap, (release, c2))
+                    del barrier_arrivals[a]
+                    self.machine.stats.barriers_crossed += 1
+
+        if barrier_arrivals:
+            waiting = sorted(barrier_arrivals)
+            raise TraceError(
+                f"deadlock: barriers {waiting[:4]} never completed "
+                "(some trace ended before reaching them)"
+            )
+
+        machine = self.machine
+        return SimulationResult(
+            config=self.config,
+            exec_cycles=max(finish) if finish else 0,
+            cpu_finish_times=finish,
+            stats=machine.stats,
+            refetch_counts=machine.refetch_counts,
+            rw_shared_pages=frozenset(machine.read_write_shared_pages()),
+            remote_pages_touched=len(machine.page_requesters),
+        )
+
+    # ------------------------------------------------------------------
+    # miss path
+    # ------------------------------------------------------------------
+
+    def _miss(self, cpu: int, node: Node, l1, b: int, w: bool, st: int, now: int) -> int:
+        """Service an L1 miss (or write upgrade); returns added latency."""
+        costs = self.config.costs
+        g = b >> self._block_page_shift
+        mapping = node.page_table.mapping_of(g)
+        lat = 0
+
+        if mapping == MAP_UNMAPPED:
+            home = self.homes.get(g)
+            if home is None:
+                # Page absent from the placement map (user-supplied homes):
+                # first-touch it here.
+                home = node.node_id
+                self.homes[g] = home
+            if home == node.node_id:
+                node.page_table.map_local(g)
+                mapping = MAP_LOCAL
+            else:
+                lat += self.policy.on_page_fault(self.machine, node, g)
+                mapping = node.page_table.mapping_of(g)
+
+        # Every miss is a bus transaction on the node's memory bus.
+        lat += node.bus.acquire(now + lat, costs.bus_occupancy)
+
+        if w:
+            lat += self._write_miss(cpu, node, l1, b, g, st, mapping, now + lat)
+        else:
+            lat += self._read_miss(cpu, node, l1, b, g, mapping, now + lat)
+        return lat
+
+    # -- read ----------------------------------------------------------
+
+    def _read_miss(self, cpu: int, node: Node, l1, b: int, g: int, mapping: int, now: int) -> int:
+        costs = self.config.costs
+        nid = node.node_id
+        slot = self._cpu_slot[cpu]
+
+        supplier = self._local_supplier(node, b, slot)
+        if supplier is not None:
+            sup_l1, sup_state = supplier
+            # MOESI snoop-read: M -> O, E -> S, O stays O.
+            if sup_state == MODIFIED:
+                sup_l1.set_state(b, OWNED)
+            elif sup_state == EXCLUSIVE:
+                sup_l1.set_state(b, SHARED)
+            node.stats.cache_to_cache += 1
+            node.stats.local_fills += 1
+            self._l1_insert(node, l1, b, SHARED)
+            return costs.local_fill
+
+        if mapping == MAP_LOCAL:
+            out = self.machine.directory.home_read_access(b, nid)
+            lat = 0
+            if b in node.coherence_lost:
+                node.stats.coherence_misses += 1
+                node.coherence_lost.discard(b)
+            if out.prev_owner >= 0:
+                # Recall the dirty copy from the remote owner.
+                lat += costs.remote_fetch
+                lat += self.machine.network.round_trip_delay(nid, out.prev_owner, now)
+                self._downgrade_node(out.prev_owner, b, g)
+                node.stats.remote_fetches += 1
+            else:
+                lat += costs.local_fill
+                node.stats.local_fills += 1
+            state = EXCLUSIVE if self._sole_copy(node, b, slot, g) else SHARED
+            self._l1_insert(node, l1, b, state)
+            return lat
+
+        if mapping == MAP_CC:
+            line = node.block_cache.lookup(b)
+            if line is not None:
+                node.stats.block_cache_hits += 1
+                node.stats.local_fills += 1
+                state = EXCLUSIVE if line.writable and self._no_local_copies(node, b, slot) else SHARED
+                self._l1_insert(node, l1, b, state)
+                return costs.local_fill
+            node.stats.block_cache_misses += 1
+            lat = self._remote_fetch(node, b, g, False, now)
+            # The policy may have relocated the page mid-fetch (R-NUMA).
+            if node.page_table.mapping_of(g) == MAP_SCOMA:
+                self._scoma_install(node, b, g, writable=False)
+            else:
+                self._block_cache_install(node, b, g, writable=False, now=now)
+            self._l1_insert(node, l1, b, SHARED)
+            return lat
+
+        # MAP_SCOMA
+        off = b & self._bpp_mask
+        tag = node.tags.get(g, off)
+        if tag != BLOCK_INVALID:
+            node.stats.page_cache_hits += 1
+            node.stats.local_fills += 1
+            if node.page_cache.reorders_on_hit:
+                node.page_cache.touch_hit(g)
+            state = EXCLUSIVE if tag == BLOCK_WRITABLE and self._no_local_copies(node, b, slot) else SHARED
+            self._l1_insert(node, l1, b, state)
+            return costs.local_fill
+        node.stats.page_cache_misses += 1
+        lat = self._remote_fetch(node, b, g, False, now)
+        if node.page_table.mapping_of(g) == MAP_SCOMA:
+            self._scoma_install(node, b, g, writable=False)
+        self._l1_insert(node, l1, b, SHARED)
+        return lat
+
+    # -- write ---------------------------------------------------------
+
+    def _write_miss(self, cpu: int, node: Node, l1, b: int, g: int, st: int, mapping: int, now: int) -> int:
+        costs = self.config.costs
+        nid = node.node_id
+        slot = self._cpu_slot[cpu]
+        directory = self.machine.directory
+
+        if mapping == MAP_LOCAL:
+            out = directory.home_write_access(b, nid)
+            lat = 0
+            if b in node.coherence_lost:
+                node.stats.coherence_misses += 1
+                node.coherence_lost.discard(b)
+            if out.invalidated or out.prev_owner >= 0:
+                # Write-sharing traffic: the home's write displaced
+                # remote copies (Table 4's read-write classification).
+                writers = self.machine.page_writers.get(g)
+                if writers is None:
+                    self.machine.page_writers[g] = {nid}
+                else:
+                    writers.add(nid)
+            remote_work = out.prev_owner >= 0 or out.invalidated
+            for victim in out.invalidated:
+                self._invalidate_node_block(victim, b, g)
+            if remote_work:
+                lat += costs.remote_fetch
+                target = out.prev_owner if out.prev_owner >= 0 else out.invalidated[0]
+                lat += self.machine.network.round_trip_delay(nid, target, now)
+                node.stats.remote_fetches += 1
+            elif st != INVALID:
+                lat += costs.sram_access  # local upgrade, no data transfer
+            else:
+                supplier = self._local_supplier(node, b, slot)
+                lat += costs.local_fill
+                node.stats.local_fills += 1
+                if supplier is not None:
+                    node.stats.cache_to_cache += 1
+            self._invalidate_local_copies(node, b, slot)
+            self._l1_insert(node, l1, b, MODIFIED)
+            return lat
+
+        if mapping == MAP_CC:
+            if directory.owner_of(b) == nid:
+                # Node already has exclusive rights: intra-node service.
+                lat = self._serve_owned_write_locally(node, b, st, slot)
+                node.block_cache.mark_dirty(b)
+                self._invalidate_local_copies(node, b, slot)
+                self._l1_insert(node, l1, b, MODIFIED)
+                return lat
+            holds_copy = st != INVALID or node.block_cache.lookup(b) is not None
+            if not holds_copy:
+                node.stats.block_cache_misses += 1
+            lat = self._remote_fetch(node, b, g, True, now, upgrade=holds_copy)
+            if node.page_table.mapping_of(g) == MAP_SCOMA:
+                self._scoma_install(node, b, g, writable=True)
+            else:
+                self._block_cache_install(node, b, g, writable=True, now=now)
+                node.block_cache.mark_dirty(b)
+            self._invalidate_local_copies(node, b, slot)
+            self._l1_insert(node, l1, b, MODIFIED)
+            return lat
+
+        # MAP_SCOMA
+        off = b & self._bpp_mask
+        tag = node.tags.get(g, off)
+        if tag == BLOCK_WRITABLE:
+            lat = self._serve_owned_write_locally(node, b, st, slot)
+            node.stats.page_cache_hits += 1
+            if node.page_cache.reorders_on_hit:
+                node.page_cache.touch_hit(g)
+            node.tags.mark_dirty(g, off)
+            self._invalidate_local_copies(node, b, slot)
+            self._l1_insert(node, l1, b, MODIFIED)
+            return lat
+        holds_copy = st != INVALID or tag == BLOCK_READONLY
+        node.stats.page_cache_misses += 1
+        lat = self._remote_fetch(node, b, g, True, now, upgrade=holds_copy)
+        if node.page_table.mapping_of(g) == MAP_SCOMA:
+            self._scoma_install(node, b, g, writable=True)
+            node.tags.mark_dirty(g, b & self._bpp_mask)
+        self._invalidate_local_copies(node, b, slot)
+        self._l1_insert(node, l1, b, MODIFIED)
+        return lat
+
+    def _serve_owned_write_locally(self, node: Node, b: int, st: int, slot: int) -> int:
+        """Write to a block the node already owns: supply from a peer L1,
+        the node-level store, or upgrade in place."""
+        costs = self.config.costs
+        supplier = self._local_supplier(node, b, slot)
+        if supplier is not None:
+            node.stats.cache_to_cache += 1
+            node.stats.local_fills += 1
+            return costs.local_fill
+        if st != INVALID:
+            return costs.sram_access  # upgrade of a resident S/O line
+        node.stats.local_fills += 1
+        return costs.local_fill
+
+    # -- shared helpers --------------------------------------------------
+
+    def _local_supplier(self, node: Node, b: int, exclude_slot: int):
+        """A peer L1 on this node that must source the block (M/O/E).
+
+        Plain SHARED copies never respond — the MBus rule that sends
+        read-only remote misses to the home node (paper, Section 4).
+        """
+        for i, l1 in enumerate(node.l1s):
+            if i == exclude_slot:
+                continue
+            idx = b & l1.mask
+            if l1.block_at.get(idx) == b:
+                st = l1.state_at[idx]
+                if st == MODIFIED or st == OWNED or st == EXCLUSIVE:
+                    return l1, st
+        return None
+
+    def _no_local_copies(self, node: Node, b: int, exclude_slot: int) -> bool:
+        for i, l1 in enumerate(node.l1s):
+            if i != exclude_slot and l1.contains(b):
+                return False
+        return True
+
+    def _sole_copy(self, node: Node, b: int, exclude_slot: int, g: int) -> bool:
+        """True when no other cache anywhere holds the block (grants E)."""
+        if not self._no_local_copies(node, b, exclude_slot):
+            return False
+        return not self.machine.directory.sharers_of(b)
+
+    def _invalidate_local_copies(self, node: Node, b: int, exclude_slot: int) -> None:
+        for i, l1 in enumerate(node.l1s):
+            if i != exclude_slot:
+                l1.invalidate(b)
+
+    def _l1_insert(self, node: Node, l1, b: int, state: int) -> None:
+        """Insert into an L1, handling the victim write-back."""
+        victim = l1.victim_for(b)
+        if victim is not None:
+            vb, vstate = victim
+            if vstate == MODIFIED or vstate == OWNED:
+                self._l1_writeback(node, vb)
+        l1.insert(b, state)
+
+    def _l1_writeback(self, node: Node, vb: int) -> None:
+        """A dirty L1 line drains to its node-level backing store."""
+        vg = vb >> self._block_page_shift
+        vmapping = node.page_table.mapping_of(vg)
+        if vmapping == MAP_CC:
+            line = node.block_cache.lookup(vb)
+            if line is not None:
+                line.dirty = True
+                line.writable = True
+            else:
+                # No block-cache frame (displaced): write straight home.
+                self.machine.directory.writeback(vb, node.node_id)
+                self.machine.network.one_way_delay(node.node_id, 0)
+                node.stats.block_cache_writebacks += 1
+        elif vmapping == MAP_SCOMA:
+            node.tags.mark_dirty(vg, vb & self._bpp_mask)
+        # MAP_LOCAL: local memory absorbs the write-back for free.
+
+    def _block_cache_install(self, node: Node, b: int, g: int, writable: bool, now: int) -> None:
+        """Install a freshly fetched block, evicting as needed.
+
+        Evicting a read-write (writable/dirty) frame forces the L1
+        copies out (inclusion) and notifies the home via a write-back;
+        read-only frames are dropped silently and L1 copies survive
+        (relaxed inclusion, paper Section 4).
+        """
+        bc = node.block_cache
+        victim = bc.victim_for(b)
+        if victim is not None and (victim.writable or victim.dirty):
+            for l1 in node.l1s:
+                st = l1.invalidate(victim.block)
+                if st == MODIFIED or st == OWNED:
+                    victim.dirty = True
+            self.machine.directory.writeback(victim.block, node.node_id)
+            self.machine.network.one_way_delay(node.node_id, now)
+            node.stats.block_cache_writebacks += 1
+        bc.insert(b, writable)
+
+    def _scoma_install(self, node: Node, b: int, g: int, writable: bool) -> None:
+        """Record a fetched block in the page-cache tags and LRM order."""
+        off = b & self._bpp_mask
+        node.tags.set(g, off, BLOCK_WRITABLE if writable else BLOCK_READONLY)
+        node.page_cache.touch_miss(g)
+
+    # -- inter-node ------------------------------------------------------
+
+    def _remote_fetch(
+        self, node: Node, b: int, g: int, write: bool, now: int, upgrade: bool = False
+    ) -> int:
+        """Fetch ``b`` from its home; returns latency including
+        contention, refetch policy action, and invalidation fan-out."""
+        machine = self.machine
+        costs = self.config.costs
+        nid = node.node_id
+        home = self.homes[g]
+
+        if write:
+            out = machine.directory.write_request(b, nid, upgrade=upgrade)
+            extra = costs.invalidate_per_sharer * len(out.invalidated)
+            for victim in out.invalidated:
+                self._invalidate_node_block(victim, b, g)
+            # The home node's own processor caches lose their copies too.
+            self._invalidate_node_block(home, b, g)
+        else:
+            out = machine.directory.read_request(b, nid)
+            extra = 0
+            if out.prev_owner >= 0:
+                self._downgrade_node(out.prev_owner, b, g)
+            self._downgrade_node(home, b, g)
+
+        lat = costs.remote_fetch
+        lat += machine.network.round_trip_delay(nid, home, now, extra)
+        node.stats.remote_fetches += 1
+
+        requesters = machine.page_requesters.get(g)
+        if requesters is None:
+            machine.page_requesters[g] = {nid}
+        else:
+            requesters.add(nid)
+        if write:
+            writers = machine.page_writers.get(g)
+            if writers is None:
+                machine.page_writers[g] = {nid}
+            else:
+                writers.add(nid)
+
+        if out.refetch:
+            node.stats.refetches += 1
+            machine.record_refetch(nid, g)
+            lat += self.policy.on_refetch(machine, node, g)
+        elif b in node.coherence_lost:
+            node.stats.coherence_misses += 1
+            node.coherence_lost.discard(b)
+        return lat
+
+    def _invalidate_node_block(self, victim_node: int, b: int, g: int) -> None:
+        """Remove every copy of ``b`` on ``victim_node`` (coherence)."""
+        v = self.machine.nodes[victim_node]
+        had_copy = False
+        for l1 in v.l1s:
+            if l1.invalidate(b) != INVALID:
+                had_copy = True
+        if v.block_cache.invalidate(b) is not None:
+            had_copy = True
+        if v.tags.is_mapped(g):
+            off = b & self._bpp_mask
+            if v.tags.get(g, off) != BLOCK_INVALID:
+                v.tags.set(g, off, BLOCK_INVALID)
+                had_copy = True
+        if had_copy:
+            v.coherence_lost.add(b)
+
+    def _downgrade_node(self, owner_node: int, b: int, g: int) -> None:
+        """The previous exclusive owner keeps a shared, clean copy."""
+        v = self.machine.nodes[owner_node]
+        for l1 in v.l1s:
+            l1.downgrade_to_shared(b)
+        line = v.block_cache.lookup(b)
+        if line is not None:
+            line.dirty = False
+            line.writable = False
+        if v.tags.is_mapped(g):
+            off = b & self._bpp_mask
+            if v.tags.get(g, off) == BLOCK_WRITABLE:
+                v.tags.set(g, off, BLOCK_READONLY)
+                # Data went home; the local copy is now clean.
+                v.tags.clear_dirty(g, off)
+
+
+def simulate(
+    config: SystemConfig,
+    traces: Sequence[Sequence[object]],
+    homes: Optional[Dict[int, int]] = None,
+) -> SimulationResult:
+    """Build an engine, run it, and return the result."""
+    return SimulationEngine(config, traces, homes).run()

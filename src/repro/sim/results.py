@@ -1,0 +1,59 @@
+"""Simulation result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.params import SystemConfig
+from repro.common.stats import StatsRegistry
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs from one run.
+
+    ``exec_cycles`` is the paper's execution-time metric: the cycle at
+    which the last processor finishes its trace.
+    """
+
+    config: SystemConfig
+    exec_cycles: int
+    cpu_finish_times: List[int]
+    stats: StatsRegistry
+    refetch_counts: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    rw_shared_pages: frozenset = frozenset()
+    remote_pages_touched: int = 0
+
+    def total(self, counter: str) -> int:
+        """Machine-wide total of one stats counter."""
+        return self.stats.total(counter)
+
+    def refetches_by_page(self) -> Dict[int, int]:
+        """Refetches per page summed over nodes (Figure 5 input)."""
+        totals: Dict[int, int] = {}
+        for per_node in self.refetch_counts.values():
+            for page, count in per_node.items():
+                totals[page] = totals.get(page, 0) + count
+        return totals
+
+    def normalized_to(self, baseline: "SimulationResult") -> float:
+        """Execution time relative to a baseline run (ideal CC-NUMA in
+        the paper's figures)."""
+        if baseline.exec_cycles <= 0:
+            raise ValueError("baseline execution time must be positive")
+        return self.exec_cycles / baseline.exec_cycles
+
+    def summary(self) -> Dict[str, int]:
+        """Headline counters for reports and debugging."""
+        return {
+            "exec_cycles": self.exec_cycles,
+            "remote_fetches": self.total("remote_fetches"),
+            "refetches": self.total("refetches"),
+            "coherence_misses": self.total("coherence_misses"),
+            "page_faults": self.total("page_faults"),
+            "page_replacements": self.total("page_replacements"),
+            "relocations": self.total("relocations"),
+            "block_cache_hits": self.total("block_cache_hits"),
+            "page_cache_hits": self.total("page_cache_hits"),
+        }

@@ -1,0 +1,25 @@
+"""Virtual-memory machinery: per-node page tables (the mapping decision
+CC-NUMA vs. S-COMA vs. unmapped is per node, per page), the S-COMA
+LPA<->GPA translation table, and a TLB model used for shootdown
+accounting.
+"""
+
+from repro.vm.page_table import (
+    MAP_CC,
+    MAP_LOCAL,
+    MAP_SCOMA,
+    MAP_UNMAPPED,
+    PageTable,
+)
+from repro.vm.tlb import Tlb
+from repro.vm.translation import TranslationTable
+
+__all__ = [
+    "MAP_CC",
+    "MAP_LOCAL",
+    "MAP_SCOMA",
+    "MAP_UNMAPPED",
+    "PageTable",
+    "Tlb",
+    "TranslationTable",
+]

@@ -1,0 +1,53 @@
+"""TLB model.
+
+The protocols under study interact with TLBs in exactly one way that
+matters for performance: unmapping a page (S-COMA replacement, R-NUMA
+relocation) requires shooting down every TLB on the node.  The paper
+charges 200 cycles for a hardware shootdown and 2000 for a software
+(inter-processor-interrupt) shootdown.
+
+We still model per-CPU TLB contents so tests can assert that shootdowns
+actually remove stale entries, and so a future extension could charge
+TLB-fill latency.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+
+class Tlb:
+    """Set of pages with live translations for one CPU.
+
+    Capacity is unbounded: TLB *fills* are not on the paper's cost list
+    (per-node page tables keep fill latency low), only shootdowns are.
+    """
+
+    __slots__ = ("_entries", "fills", "shootdowns")
+
+    def __init__(self) -> None:
+        self._entries: Set[int] = set()
+        self.fills = 0
+        self.shootdowns = 0
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries
+
+    def fill(self, page: int) -> None:
+        if page not in self._entries:
+            self._entries.add(page)
+            self.fills += 1
+
+    def shoot_down(self, page: int) -> bool:
+        """Remove ``page``; returns True if an entry was present."""
+        self.shootdowns += 1
+        if page in self._entries:
+            self._entries.remove(page)
+            return True
+        return False
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

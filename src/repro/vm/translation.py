@@ -1,0 +1,58 @@
+"""S-COMA auxiliary SRAM translation table.
+
+S-COMA names remote data with *local* physical addresses (page-cache
+frames); when the RAD must talk to the home node it translates the local
+physical address back to the global physical address through a one-entry-
+per-page SRAM table (paper, Section 2.2).  In the simulator both sides of
+the translation are page numbers in the single global space, so the table
+is bidirectional bookkeeping: frame index <-> global page.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.errors import ProtocolError
+
+
+class TranslationTable:
+    """Bidirectional frame <-> global-page map for one node's RAD."""
+
+    __slots__ = ("_frame_of_page", "_page_of_frame", "_next_frame", "_free_frames")
+
+    def __init__(self) -> None:
+        self._frame_of_page: Dict[int, int] = {}
+        self._page_of_frame: Dict[int, int] = {}
+        self._next_frame = 0
+        self._free_frames: list = []
+
+    def install(self, page: int) -> int:
+        """Assign a frame index to a newly mapped S-COMA page."""
+        if page in self._frame_of_page:
+            raise ProtocolError(f"page {page} already has a translation entry")
+        frame = self._free_frames.pop() if self._free_frames else self._next_frame
+        if frame == self._next_frame:
+            self._next_frame += 1
+        self._frame_of_page[page] = frame
+        self._page_of_frame[frame] = page
+        return frame
+
+    def remove(self, page: int) -> None:
+        """Drop the entry for an unmapped page, recycling its frame."""
+        frame = self._frame_of_page.pop(page, None)
+        if frame is None:
+            raise ProtocolError(f"page {page} has no translation entry")
+        del self._page_of_frame[frame]
+        self._free_frames.append(frame)
+
+    def frame_of(self, page: int) -> Optional[int]:
+        return self._frame_of_page.get(page)
+
+    def page_of(self, frame: int) -> Optional[int]:
+        return self._page_of_frame.get(frame)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._frame_of_page
+
+    def __len__(self) -> int:
+        return len(self._frame_of_page)

@@ -1,0 +1,29 @@
+"""Workload suite: scaled SPLASH-2-style mini-kernels (Table 3) plus
+synthetic adversarial reference streams.
+
+Each application module builds a :class:`Program` — one trace per
+processor with barriers — by *running* a miniature version of the real
+computation (LU elimination order, FFT transpose, radix scatter, n-body
+tree walks, stencil sweeps, ...) over a laid-out shared address space.
+The kernels are scaled per DESIGN.md: sharing type, working-set size
+relative to the paper's cache sizes, page-level density, and load
+imbalance are preserved; absolute instruction counts are not.
+"""
+
+from repro.workloads.base import Program, TraceBuilder
+from repro.workloads.layout import Layout, Region
+from repro.workloads.registry import (
+    APPLICATIONS,
+    build_program,
+    workload_names,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "Layout",
+    "Program",
+    "Region",
+    "TraceBuilder",
+    "build_program",
+    "workload_names",
+]

@@ -1,0 +1,107 @@
+"""barnes: Barnes-Hut hierarchical N-body simulation (SPLASH-2).
+
+Paper input: 16K particles.  Scaled: 2K bodies, 6K tree cells,
+2 timesteps.
+
+Sharing behaviour preserved: force computation walks the shared octree;
+the top levels (here: the first 16 pages of cells) are read by *every*
+processor thousands of times per step — a compact, intensely reused
+remote working set that overwhelms a 32-KB block cache (1024 hot blocks
+vs. 512 frames) but trivially fits the page cache.  The rest of the tree
+and the remote bodies push the per-node footprint past the 80 page-cache
+frames, so pure S-COMA still replaces pages.  R-NUMA relocates exactly
+the hot tree pages and beats both (the paper's best case: 37% better
+than the best of CC-NUMA/S-COMA).  The tree is rebuilt (rewritten) each
+step, so hot-page copies are invalidated between steps — read-write
+sharing, which is why replication of read-only pages would not help
+(Table 4: 97% of barnes refetches are to read-write pages).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.addressing import AddressSpace
+from repro.common.params import MachineParams
+from repro.workloads.base import Program, TraceBuilder, scaled
+from repro.workloads.layout import Layout
+
+from repro.workloads.apps import stripe_pages_across_nodes
+
+CELL_BYTES = 64
+BODY_BYTES = 64
+
+PAPER_INPUT = "16K particles"
+
+
+def build(
+    machine: MachineParams,
+    space: AddressSpace,
+    scale: float = 1.0,
+    seed: int = 5,
+) -> Program:
+    cpus = machine.total_cpus
+    n_bodies = scaled(2048, scale, cpus * 8)
+    n_bodies -= n_bodies % cpus
+    n_cells = scaled(6016, scale, 512)
+    hot_cells = min(n_cells // 2, 1024)  # top of the tree
+    reads_per_body = 24
+    hot_reads = 20
+    steps = 2
+    per_cpu = n_bodies // cpus
+    cells_per_page = space.page_size // CELL_BYTES
+    rng = random.Random(seed)
+
+    layout = Layout(space)
+    cells = layout.region("cells", n_cells * CELL_BYTES)
+    bodies = layout.region("bodies", n_bodies * BODY_BYTES)
+    tb = TraceBuilder(machine)
+
+    # Tree pages striped across nodes; bodies partitioned per CPU.
+    stripe_pages_across_nodes(tb, cells, machine)
+    for cpu in range(cpus):
+        lo = cpu * per_cpu
+        tb.first_touch(
+            cpu, (bodies.elem(i, BODY_BYTES) for i in range(lo, lo + per_cpu))
+        )
+    tb.barrier()
+
+    # Cells are rebuilt by striped owners (one writer per page).
+    def rebuild_tree() -> None:
+        for page in range(cells.num_pages):
+            cpu = (page % machine.nodes) * machine.cpus_per_node
+            base = page * cells_per_page
+            for c in range(base, min(base + cells_per_page, n_cells)):
+                tb.write(cpu, cells.elem(c, CELL_BYTES), think=2)
+        tb.barrier()
+
+    for _ in range(steps):
+        rebuild_tree()
+        # Force phase: every body walks the tree.
+        for cpu in range(cpus):
+            lo = cpu * per_cpu
+            for i in range(lo, lo + per_cpu):
+                for r in range(reads_per_body):
+                    if r < hot_reads:
+                        c = rng.randrange(hot_cells)
+                    else:
+                        c = hot_cells + rng.randrange(n_cells - hot_cells)
+                    tb.read(cpu, cells.elem(c, CELL_BYTES), think=3)
+                tb.write(cpu, bodies.elem(i, BODY_BYTES), think=4)
+        tb.barrier()
+        # Update phase: owners advance their bodies.
+        for cpu in range(cpus):
+            lo = cpu * per_cpu
+            for i in range(lo, lo + per_cpu):
+                tb.read(cpu, bodies.elem(i, BODY_BYTES), think=2)
+                tb.write(cpu, bodies.elem(i, BODY_BYTES), think=3)
+        tb.barrier()
+
+    return tb.build(
+        "barnes",
+        description="Barnes-Hut N-body: shared octree walks with per-step rebuild",
+        paper_input=PAPER_INPUT,
+        scaled_input=f"{n_bodies} particles, {n_cells} cells, {steps} steps",
+        bodies=n_bodies,
+        cells=n_cells,
+    )

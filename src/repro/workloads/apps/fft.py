@@ -1,0 +1,111 @@
+"""fft: complex 1-D radix-sqrt(n) six-step FFT (SPLASH-2).
+
+Paper input: 64K points.  Scaled: 16K points arranged as a 128x128
+matrix of complex doubles (16 bytes each).
+
+Sharing behaviour preserved: the six-step FFT alternates local row FFTs
+with all-to-all transposes.  Transposed data was freshly written by its
+producer, so remote misses are coherence/cold misses — CC-NUMA needs
+almost no block cache (the paper omits fft from Figure 5 because it has
+*no* capacity refetches).  The transpose source spans every other
+processor's rows: more distinct remote pages per node than S-COMA page
+frames, so pure S-COMA pays an allocation storm every transpose (its
+execution bar in Figure 6 is the tallest).
+"""
+
+from __future__ import annotations
+
+from repro.common.addressing import AddressSpace
+from repro.common.params import MachineParams
+from repro.workloads.base import Program, TraceBuilder, scaled
+from repro.workloads.layout import Layout, Region
+
+ELEM_BYTES = 16  # one complex double
+
+PAPER_INPUT = "64K points"
+
+
+def build(
+    machine: MachineParams,
+    space: AddressSpace,
+    scale: float = 1.0,
+    seed: int = 42,
+) -> Program:
+    cpus = machine.total_cpus
+    m = scaled(128, scale ** 0.5, cpus)  # matrix edge: m*m points
+    m -= m % cpus
+    rows_per_cpu = m // cpus
+    row_bytes = m * ELEM_BYTES
+    blocks_per_row = max(1, row_bytes // space.block_size)
+    elems_per_block = space.block_size // ELEM_BYTES
+
+    layout = Layout(space)
+    a = layout.region("A", m * row_bytes)
+    b = layout.region("B", m * row_bytes)
+    tb = TraceBuilder(machine)
+
+    def row_block(region: Region, row: int, blk: int) -> int:
+        return region.addr(row * row_bytes + blk * space.block_size)
+
+    # Init: each CPU owns the same row range of both matrices.
+    for cpu in range(cpus):
+        lo = cpu * rows_per_cpu
+        for region in (a, b):
+            tb.first_touch(
+                cpu,
+                (
+                    row_block(region, r, k)
+                    for r in range(lo, lo + rows_per_cpu)
+                    for k in range(blocks_per_row)
+                ),
+            )
+    tb.barrier()
+
+    def fft_rows(region: Region) -> None:
+        """Local row FFTs: one read-modify-write pass over own rows."""
+        for cpu in range(cpus):
+            lo = cpu * rows_per_cpu
+            for r in range(lo, lo + rows_per_cpu):
+                for k in range(blocks_per_row):
+                    addr = row_block(region, r, k)
+                    tb.read(cpu, addr, think=4)
+                    tb.write(cpu, addr, think=4)
+        tb.barrier()
+
+    def transpose(src: Region, dst: Region) -> None:
+        """All-to-all cache-blocked transpose.
+
+        Each CPU gathers the column slab holding its destination rows:
+        every source block is read exactly once (the real code blocks
+        the loop for exactly this reason), so the phase generates pure
+        producer-consumer traffic and no capacity refetches.
+        """
+        for cpu in range(cpus):
+            lo = cpu * rows_per_cpu
+            for rblk in range(
+                lo // elems_per_block,
+                (lo + rows_per_cpu + elems_per_block - 1) // elems_per_block,
+            ):
+                for c in range(m):
+                    tb.read(cpu, row_block(src, c, rblk), think=2)
+                    if c % elems_per_block == elems_per_block - 1:
+                        dst_blk = c // elems_per_block
+                        for r in range(lo, lo + rows_per_cpu):
+                            tb.write(cpu, row_block(dst, r, dst_blk), think=2)
+        tb.barrier()
+
+    # The six-step algorithm: transpose, FFT, transpose, twiddle+FFT,
+    # transpose.  (Twiddle multiply is folded into the row FFTs.)
+    transpose(a, b)
+    fft_rows(b)
+    transpose(b, a)
+    fft_rows(a)
+    transpose(a, b)
+
+    return tb.build(
+        "fft",
+        description="complex 1-D radix-sqrt(n) six-step FFT",
+        paper_input=PAPER_INPUT,
+        scaled_input=f"{m * m} points ({m}x{m} matrix)",
+        points=m * m,
+    )

@@ -1,0 +1,121 @@
+"""lu: blocked dense LU factorization (SPLASH-2, non-contiguous blocks).
+
+Paper input: 512x512 matrix, 16x16 blocks.  Scaled: 256x256 matrix,
+16x16 blocks (a 16x16 grid of blocks), 2-D scatter decomposition.
+
+Sharing behaviour preserved: the matrix is stored row-major (the SPLASH-2
+non-contiguous variant), so one 4-KB page holds segments of *many*
+owners' blocks and — after first-touch — most of the data a processor
+reads and writes every elimination step lives on remote pages.  Each
+step revisits the active trailing submatrix: a per-node remote *reuse*
+working set far larger than the 32-KB block cache (CC-NUMA refetches
+every step) yet small enough for the 320-KB page cache (S-COMA wins;
+R-NUMA relocates and follows).  The shrinking active set also gives lu
+its load imbalance: a couple of nodes perform most of the page
+replacements on the critical path, making lu the application most
+sensitive to relocation overhead (Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.common.addressing import AddressSpace
+from repro.common.params import MachineParams
+from repro.workloads.base import Program, TraceBuilder, scaled
+from repro.workloads.layout import Layout
+
+BLOCK_EDGE = 16  # elements per matrix-block edge
+ELEM_BYTES = 8   # double
+
+PAPER_INPUT = "512x512 matrix, 16x16 blocks"
+
+
+def build(
+    machine: MachineParams,
+    space: AddressSpace,
+    scale: float = 1.0,
+    seed: int = 7,
+) -> Program:
+    cpus = machine.total_cpus
+    grid = scaled(16, scale ** 0.5, 8)        # grid x grid matrix blocks
+    n = grid * BLOCK_EDGE                     # matrix edge in elements
+    row_bytes = n * ELEM_BYTES
+    seg_bytes = BLOCK_EDGE * ELEM_BYTES       # one block's row segment
+    lines_per_seg = max(1, seg_bytes // space.block_size)
+
+    layout = Layout(space)
+    mat = layout.region("matrix", n * row_bytes)
+    tb = TraceBuilder(machine)
+
+    # 2-D scatter of blocks onto a CPU grid.
+    cpu_rows = 4
+    cpu_cols = cpus // cpu_rows
+
+    def owner(bi: int, bj: int) -> int:
+        return (bi % cpu_rows) * cpu_cols + (bj % cpu_cols)
+
+    def seg_addr(bi: int, bj: int, row: int, line: int) -> int:
+        return mat.addr(
+            (bi * BLOCK_EDGE + row) * row_bytes
+            + bj * seg_bytes
+            + line * space.block_size
+        )
+
+    # Init: each owner touches its block's row segments.  Because the
+    # matrix is row-major, a page spans many owners' segments — the
+    # first toucher wins and most owners end up with remote data.
+    for bi in range(grid):
+        for bj in range(grid):
+            tb.first_touch(
+                owner(bi, bj),
+                (
+                    seg_addr(bi, bj, r, l)
+                    for r in range(BLOCK_EDGE)
+                    for l in range(lines_per_seg)
+                ),
+            )
+    tb.barrier()
+
+    def read_block(cpu: int, bi: int, bj: int) -> None:
+        for r in range(BLOCK_EDGE):
+            for l in range(lines_per_seg):
+                tb.read(cpu, seg_addr(bi, bj, r, l), think=3)
+
+    def update_block(cpu: int, bi: int, bj: int) -> None:
+        for r in range(BLOCK_EDGE):
+            for l in range(lines_per_seg):
+                addr = seg_addr(bi, bj, r, l)
+                tb.read(cpu, addr, think=2)
+                tb.write(cpu, addr, think=4)
+
+    for k in range(grid):
+        update_block(owner(k, k), k, k)
+        tb.barrier()
+
+        for j in range(k + 1, grid):
+            cpu = owner(k, j)
+            read_block(cpu, k, k)
+            update_block(cpu, k, j)
+        for i in range(k + 1, grid):
+            cpu = owner(i, k)
+            read_block(cpu, k, k)
+            update_block(cpu, i, k)
+        tb.barrier()
+
+        for i in range(k + 1, grid):
+            for j in range(k + 1, grid):
+                cpu = owner(i, j)
+                read_block(cpu, i, k)
+                read_block(cpu, k, j)
+                update_block(cpu, i, j)
+        tb.barrier()
+
+    return tb.build(
+        "lu",
+        description=(
+            "blocked dense LU, non-contiguous (row-major) blocks, "
+            "2-D scatter decomposition"
+        ),
+        paper_input=PAPER_INPUT,
+        scaled_input=f"{n}x{n} matrix, 16x16 blocks",
+        grid=grid,
+    )

@@ -1,0 +1,114 @@
+"""Program/trace-builder infrastructure shared by all workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import TraceError
+from repro.common.params import MachineParams
+from repro.common.records import Access, Barrier, Trace
+
+
+@dataclass
+class Program:
+    """A complete multiprocessor workload: one trace per CPU."""
+
+    name: str
+    traces: List[Trace]
+    description: str = ""
+    paper_input: str = ""
+    scaled_input: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cpu_count(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(
+            1 for trace in self.traces for item in trace if isinstance(item, Access)
+        )
+
+    @property
+    def barrier_count(self) -> int:
+        if not self.traces:
+            return 0
+        return sum(1 for item in self.traces[0] if isinstance(item, Barrier))
+
+
+class TraceBuilder:
+    """Accumulates per-CPU traces with global barriers.
+
+    Workload kernels call :meth:`read`/:meth:`write` as they execute and
+    :meth:`barrier` at synchronization points; :meth:`build` returns the
+    finished :class:`Program`.
+    """
+
+    def __init__(self, machine: MachineParams) -> None:
+        self.machine = machine
+        self.traces: List[Trace] = [[] for _ in range(machine.total_cpus)]
+        self._next_barrier = 0
+
+    @property
+    def cpu_count(self) -> int:
+        return len(self.traces)
+
+    @property
+    def node_count(self) -> int:
+        return self.machine.nodes
+
+    def read(self, cpu: int, addr: int, think: int = 2) -> None:
+        self.traces[cpu].append(Access(addr, False, think))
+
+    def write(self, cpu: int, addr: int, think: int = 2) -> None:
+        self.traces[cpu].append(Access(addr, True, think))
+
+    def barrier(self) -> int:
+        """Append the next global barrier to every CPU's trace."""
+        ident = self._next_barrier
+        self._next_barrier += 1
+        for trace in self.traces:
+            trace.append(Barrier(ident))
+        return ident
+
+    def first_touch(self, cpu: int, addrs) -> None:
+        """Initialization touches establishing first-touch homes.
+
+        Each address is written once with no think time; call during the
+        program's init phase, before the first barrier, touching every
+        page exactly once (by the CPU that should become its home).
+        """
+        trace = self.traces[cpu]
+        for addr in addrs:
+            trace.append(Access(addr, True, 0))
+
+    def build(
+        self,
+        name: str,
+        description: str = "",
+        paper_input: str = "",
+        scaled_input: str = "",
+        **metadata,
+    ) -> Program:
+        if self._next_barrier == 0:
+            raise TraceError(
+                f"program {name!r} has no barriers; kernels must emit at "
+                "least the init barrier so placement is well-defined"
+            )
+        return Program(
+            name=name,
+            traces=self.traces,
+            description=description,
+            paper_input=paper_input,
+            scaled_input=scaled_input,
+            metadata=dict(metadata),
+        )
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer workload parameter with a floor."""
+    if scale <= 0:
+        raise TraceError(f"scale must be positive, got {scale}")
+    return max(minimum, int(round(value * scale)))

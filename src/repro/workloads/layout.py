@@ -1,0 +1,97 @@
+"""Shared-address-space layout for workload kernels.
+
+A :class:`Layout` hands out page-aligned :class:`Region` objects (named
+arrays) in a single global address space.  Kernels address data through
+regions so the access streams they emit land on well-defined pages and
+blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.addressing import AddressSpace
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A page-aligned array in the shared address space."""
+
+    name: str
+    base: int
+    size: int
+    space: AddressSpace
+
+    def addr(self, offset: int) -> int:
+        """Byte address at ``offset`` within the region."""
+        if not 0 <= offset < self.size:
+            raise ConfigurationError(
+                f"offset {offset} outside region {self.name!r} of {self.size} bytes"
+            )
+        return self.base + offset
+
+    def elem(self, index: int, elem_size: int) -> int:
+        """Byte address of fixed-size element ``index``."""
+        return self.addr(index * elem_size)
+
+    def block(self, index: int) -> int:
+        """Byte address of the ``index``-th cache block of the region."""
+        return self.addr(index * self.space.block_size)
+
+    @property
+    def num_blocks(self) -> int:
+        return (self.size + self.space.block_size - 1) // self.space.block_size
+
+    @property
+    def num_pages(self) -> int:
+        return (self.size + self.space.page_size - 1) // self.space.page_size
+
+    @property
+    def first_page(self) -> int:
+        return self.space.page_of(self.base)
+
+    def pages(self) -> range:
+        """Page numbers spanned by the region."""
+        first = self.first_page
+        return range(first, first + self.num_pages)
+
+    def page_base_addr(self, page_index: int) -> int:
+        """Byte address of the start of the region's ``page_index``-th page."""
+        if not 0 <= page_index < self.num_pages:
+            raise ConfigurationError(
+                f"page index {page_index} outside region {self.name!r}"
+            )
+        return self.base + page_index * self.space.page_size
+
+
+class Layout:
+    """Bump allocator handing out page-aligned regions."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        self._next = 0
+        self._regions: Dict[str, Region] = {}
+
+    def region(self, name: str, size: int) -> Region:
+        """Allocate ``size`` bytes (rounded up to whole pages)."""
+        if size <= 0:
+            raise ConfigurationError(f"region {name!r} must have positive size")
+        if name in self._regions:
+            raise ConfigurationError(f"region {name!r} already allocated")
+        pages = (size + self.space.page_size - 1) // self.space.page_size
+        region = Region(name, self._next, pages * self.space.page_size, self.space)
+        self._next += pages * self.space.page_size
+        self._regions[name] = region
+        return region
+
+    def get(self, name: str) -> Region:
+        return self._regions[name]
+
+    def regions(self) -> List[Region]:
+        return list(self._regions.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return self._next

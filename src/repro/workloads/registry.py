@@ -1,0 +1,88 @@
+"""Workload registry: name -> builder, with Table 3 metadata and a
+process-wide program cache (trace generation is deterministic, so a
+(name, scale, machine-shape) triple always yields the same program).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.addressing import AddressSpace
+from repro.common.errors import ConfigurationError
+from repro.common.params import MachineParams
+from repro.workloads.base import Program
+from repro.workloads.apps import (
+    barnes,
+    cholesky,
+    em3d,
+    fft,
+    fmm,
+    lu,
+    moldyn,
+    ocean,
+    radix,
+    raytrace,
+)
+
+Builder = Callable[..., Program]
+
+#: name -> (builder, problem description, paper input) — the paper's Table 3.
+APPLICATIONS: Dict[str, Tuple[Builder, str, str]] = {
+    "barnes": (barnes.build, "Barnes-Hut N-body simulation", barnes.PAPER_INPUT),
+    "cholesky": (
+        cholesky.build,
+        "Blocked sparse Cholesky factorization",
+        cholesky.PAPER_INPUT,
+    ),
+    "em3d": (em3d.build, "3-D electromagnetic wave propagation", em3d.PAPER_INPUT),
+    "fft": (fft.build, "Complex 1-D radix-sqrt(n) six-step FFT", fft.PAPER_INPUT),
+    "fmm": (fmm.build, "Fast Multipole N-body simulation", fmm.PAPER_INPUT),
+    "lu": (lu.build, "Blocked dense LU factorization", lu.PAPER_INPUT),
+    "moldyn": (moldyn.build, "Molecular dynamics simulation", moldyn.PAPER_INPUT),
+    "ocean": (ocean.build, "Ocean simulation", ocean.PAPER_INPUT),
+    "radix": (radix.build, "Integer radix sort", radix.PAPER_INPUT),
+    "raytrace": (raytrace.build, "3-D scene rendering using ray-tracing", raytrace.PAPER_INPUT),
+}
+
+_cache: Dict[Tuple[str, float, int, int, int, int], Program] = {}
+
+
+def workload_names() -> List[str]:
+    """All application names, in the paper's (alphabetical) order."""
+    return list(APPLICATIONS)
+
+
+def build_program(
+    name: str,
+    machine: Optional[MachineParams] = None,
+    space: Optional[AddressSpace] = None,
+    scale: float = 1.0,
+    use_cache: bool = True,
+) -> Program:
+    """Build (or fetch from cache) the named application's program."""
+    if name not in APPLICATIONS:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known: {', '.join(APPLICATIONS)}"
+        )
+    machine = machine or MachineParams()
+    space = space or AddressSpace()
+    key = (
+        name,
+        scale,
+        machine.nodes,
+        machine.cpus_per_node,
+        space.block_size,
+        space.page_size,
+    )
+    if use_cache and key in _cache:
+        return _cache[key]
+    builder, _, _ = APPLICATIONS[name]
+    program = builder(machine, space, scale=scale)
+    if use_cache:
+        _cache[key] = program
+    return program
+
+
+def clear_cache() -> None:
+    """Drop all cached programs (tests use this to bound memory)."""
+    _cache.clear()

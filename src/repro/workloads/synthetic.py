@@ -1,0 +1,149 @@
+"""Synthetic reference streams for model validation and stress tests.
+
+These are not Table 3 applications; they are the adversarial patterns of
+Section 3.2's competitive analysis, used by the property tests and the
+model-validation benchmark:
+
+- :func:`worst_case_for_rnuma` — a page is refetched exactly to the
+  threshold (triggering relocation) and then never touched again:
+  R-NUMA pays CC-NUMA's cost *plus* relocation *plus* allocation,
+  EQ 1's worst case.
+- :func:`reuse_page_stream` — one page refetched forever: S-COMA/R-NUMA
+  heaven, CC-NUMA's worst case.
+- :func:`streaming_pages` — march through pages touching each block
+  once: no protocol can win; S-COMA pays an allocation per page.
+
+Generating a *refetch* takes care: two blocks of one 4-KB page can
+never conflict in an 8-KB L1, so each hot read is interleaved with a
+read of a CPU-local "evictor" block that aliases the hot block's L1 set.
+The two hot blocks per page are chosen two block-numbers apart so they
+collide in the 128-byte (two-line) block cache of the paper's R-NUMA
+configuration — and of the small CC-NUMA block caches these streams are
+studied with.
+"""
+
+from __future__ import annotations
+
+from repro.common.addressing import AddressSpace
+from repro.common.params import MachineParams
+from repro.workloads.base import Program, TraceBuilder
+from repro.workloads.layout import Layout, Region
+
+#: distance in blocks between the two hot blocks of a page; both land in
+#: the same set of any direct-mapped block cache of <= 2 blocks... i.e.
+#: the 128-byte R-NUMA device (and they also collide in 256-byte ones).
+CONFLICT_STRIDE_BLOCKS = 2
+
+
+def _two_node_builder(machine: MachineParams) -> TraceBuilder:
+    if machine.nodes < 2:
+        raise ValueError("synthetic streams need at least two nodes")
+    return TraceBuilder(machine)
+
+
+def _evictor_addr(
+    space: AddressSpace,
+    hot: Region,
+    local: Region,
+    hot_page_index: int,
+    offset_blocks: int,
+) -> int:
+    """A CPU-0-local address whose L1 set aliases the hot block's.
+
+    An 8-KB, 64-B-line L1 wraps every two 4-KB pages, so a local page
+    with the same *global* page parity as the hot page aliases it
+    set-for-set.
+    """
+    l1_pages = max(1, (8 * 1024) // space.page_size)
+    hot_global = space.page_of(hot.page_base_addr(hot_page_index))
+    # Pick the local page whose *global* page number matches the hot
+    # page modulo the L1's page span — set-for-set aliasing.
+    for li in range(local.num_pages):
+        if (local.first_page + li) % l1_pages == hot_global % l1_pages:
+            return local.page_base_addr(li) + offset_blocks * space.block_size
+    return local.page_base_addr(0) + offset_blocks * space.block_size
+
+
+def _conflict_round(
+    tb: TraceBuilder,
+    space: AddressSpace,
+    hot: Region,
+    local: Region,
+    page_index: int,
+    stride: int,
+) -> None:
+    """Two hot refetch-candidates interleaved with local evictors."""
+    hot_base = hot.page_base_addr(page_index)
+    for offset in (0, stride):
+        tb.read(0, hot_base + offset * space.block_size, think=1)
+        tb.read(0, _evictor_addr(space, hot, local, page_index, offset), think=1)
+
+
+def _make_regions(machine: MachineParams, space: AddressSpace, tb: TraceBuilder, pages: int):
+    layout = Layout(space)
+    hot = layout.region("hot", pages * space.page_size)
+    l1_pages = max(1, (8 * 1024) // space.page_size)
+    local = layout.region("evictor", l1_pages * space.page_size)
+    owner_cpu = machine.cpus_per_node  # first CPU of node 1 homes "hot"
+    tb.first_touch(owner_cpu, (hot.page_base_addr(i) for i in range(pages)))
+    tb.first_touch(0, (local.page_base_addr(i) for i in range(l1_pages)))
+    return hot, local
+
+
+def worst_case_for_rnuma(
+    machine: MachineParams,
+    space: AddressSpace,
+    threshold: int,
+    conflict_stride_blocks: int = CONFLICT_STRIDE_BLOCKS,
+    pages: int = 8,
+) -> Program:
+    """Each remote page is refetched just past ``threshold`` times and
+    then abandoned — R-NUMA relocates it for nothing (EQ 1's case)."""
+    tb = _two_node_builder(machine)
+    hot, local = _make_regions(machine, space, tb, pages)
+    tb.barrier()
+    rounds = threshold // 2 + 2  # 2 refetches per round once warm
+    for p in range(pages):
+        for _ in range(rounds):
+            _conflict_round(tb, space, hot, local, p, conflict_stride_blocks)
+    tb.barrier()
+    return tb.build("worst-case-rnuma", description="EQ 1 adversarial stream")
+
+
+def reuse_page_stream(
+    machine: MachineParams,
+    space: AddressSpace,
+    repeats: int = 2000,
+    conflict_stride_blocks: int = CONFLICT_STRIDE_BLOCKS,
+) -> Program:
+    """One remote page refetched forever (CC-NUMA's worst case)."""
+    tb = _two_node_builder(machine)
+    hot, local = _make_regions(machine, space, tb, pages=1)
+    tb.barrier()
+    for _ in range(repeats):
+        _conflict_round(tb, space, hot, local, 0, conflict_stride_blocks)
+    tb.barrier()
+    return tb.build("reuse-page", description="single hot remote page")
+
+
+def streaming_pages(
+    machine: MachineParams,
+    space: AddressSpace,
+    pages: int = 64,
+    touches_per_block: int = 1,
+) -> Program:
+    """Touch every block of many remote pages once and move on
+    (S-COMA's worst case: one allocation per page, no reuse)."""
+    tb = _two_node_builder(machine)
+    layout = Layout(space)
+    region = layout.region("stream", (pages + 1) * space.page_size)
+    owner_cpu = machine.cpus_per_node
+    tb.first_touch(owner_cpu, (region.page_base_addr(i) for i in range(pages + 1)))
+    tb.barrier()
+    for p in range(pages):
+        base = region.page_base_addr(p)
+        for blk in range(space.blocks_per_page):
+            for _ in range(touches_per_block):
+                tb.read(0, base + blk * space.block_size, think=1)
+    tb.barrier()
+    return tb.build("streaming", description="no-reuse page march")

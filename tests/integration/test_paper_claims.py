@@ -1,0 +1,120 @@
+"""Full-scale integration tests of the paper's headline claims.
+
+These run the real experiment suite (scale 1.0) and assert the *shapes*
+the paper reports.  They are the slowest tests in the repository
+(roughly a minute together); everything else runs in seconds.
+"""
+
+import pytest
+
+from repro.experiments import (
+    compute_figure6,
+    compute_figure8,
+    compute_figure9,
+)
+from repro.experiments.runner import ResultCache
+
+APPS = (
+    "barnes",
+    "cholesky",
+    "em3d",
+    "fft",
+    "fmm",
+    "lu",
+    "moldyn",
+    "ocean",
+    "radix",
+    "raytrace",
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ResultCache()
+
+
+@pytest.fixture(scope="module")
+def figure6(cache):
+    return compute_figure6(scale=1.0, apps=APPS, cache=cache)
+
+
+class TestFigure6Claims:
+    def test_rnuma_is_never_the_worst_protocol(self, figure6):
+        for app, row in figure6.normalized.items():
+            assert row["R-NUMA"] <= max(row["CC-NUMA"], row["S-COMA"]) * 1.001, app
+
+    def test_rnuma_within_57_percent_of_best(self, figure6):
+        # The paper's quantitative worst case for R-NUMA.
+        for app in APPS:
+            assert figure6.worst_case_vs_best(app) <= 1.57, app
+
+    def test_rnuma_sometimes_beats_both(self, figure6):
+        # barnes and raytrace in the paper; at least one app here.
+        assert any(figure6.worst_case_vs_best(app) < 1.0 for app in APPS)
+
+    def test_ccnuma_and_scoma_each_lose_badly_somewhere(self, figure6):
+        claims = figure6.headline_claims()
+        # Paper: CC-NUMA up to 179% worse than S-COMA (we require >50%),
+        # S-COMA up to 315% worse than CC-NUMA (we require >200%).
+        assert claims["ccnuma_worst_vs_scoma"] >= 1.5
+        assert claims["scoma_worst_vs_ccnuma"] >= 3.0
+
+    def test_communication_apps_favor_ccnuma(self, figure6):
+        # em3d and fft: CC-NUMA ~ ideal, S-COMA clearly worse.
+        for app in ("em3d", "fft"):
+            row = figure6.normalized[app]
+            assert row["CC-NUMA"] <= 1.1
+            assert row["S-COMA"] >= 1.4
+            assert row["R-NUMA"] <= 1.1
+
+    def test_reuse_apps_favor_scoma(self, figure6):
+        # moldyn, lu, cholesky: S-COMA beats CC-NUMA.
+        for app in ("moldyn", "lu", "cholesky"):
+            row = figure6.normalized[app]
+            assert row["S-COMA"] < row["CC-NUMA"], app
+
+    def test_overflow_apps_favor_ccnuma_heavily(self, figure6):
+        # fmm and radix: page cache overflow makes S-COMA multiple
+        # factors worse than CC-NUMA.
+        for app in ("fmm", "radix"):
+            row = figure6.normalized[app]
+            assert row["S-COMA"] >= 2.5 * row["CC-NUMA"], app
+
+    def test_rnuma_best_for_hot_page_apps(self, figure6):
+        # barnes (and ocean): a compact hot set relocates and R-NUMA
+        # outperforms both pure protocols.
+        for app in ("barnes", "ocean"):
+            row = figure6.normalized[app]
+            assert row["R-NUMA"] <= row["CC-NUMA"], app
+            assert row["R-NUMA"] <= row["S-COMA"], app
+
+
+class TestFigure8Claims:
+    def test_threshold_sensitivity_shape(self, cache):
+        # Paper: communication apps are threshold-insensitive; apps with
+        # many reuse pages favour *low* thresholds (relocate sooner) and
+        # degrade as the threshold grows.
+        fig = compute_figure8(scale=1.0, apps=("em3d", "moldyn", "barnes"), cache=cache)
+        assert fig.variation("em3d") <= 0.05
+        for app in ("moldyn", "barnes"):
+            row = fig.normalized[app]
+            assert row[16] <= 1.05, app          # early relocation never hurts much
+            assert row[1024] >= row[16], app     # late relocation wastes the benefit
+
+
+class TestFigure9Claims:
+    def test_scoma_more_sensitive_to_page_costs_than_rnuma(self, cache):
+        fig = compute_figure9(
+            scale=1.0, apps=("em3d", "fmm", "radix", "moldyn"), cache=cache
+        )
+        # Where S-COMA replaces heavily, tripling page costs hurts it
+        # far more than R-NUMA.
+        for app in ("em3d", "fmm", "radix"):
+            assert fig.scoma_degradation(app) > fig.rnuma_degradation(app), app
+
+    def test_rnuma_soft_degradation_small(self, cache):
+        fig = compute_figure9(
+            scale=1.0, apps=("em3d", "fmm", "radix", "moldyn"), cache=cache
+        )
+        for app in ("em3d", "fmm", "radix", "moldyn"):
+            assert fig.rnuma_degradation(app) <= 1.45, app

@@ -1,0 +1,142 @@
+"""Integration tests: the qualitative protocol behaviours the paper's
+analysis rests on, demonstrated with the synthetic streams on a
+paper-geometry two-node machine.
+"""
+
+import pytest
+
+from repro.common.addressing import AddressSpace
+from repro.common.params import (
+    CacheParams,
+    MachineParams,
+    SystemConfig,
+)
+from repro.model.competitive import CompetitiveModel, ModelParameters
+from repro.sim.engine import simulate
+from repro.workloads import synthetic
+
+SPACE = AddressSpace()  # 64-B blocks, 4-KB pages
+MACHINE = MachineParams(nodes=2, cpus_per_node=1)
+
+
+def config(protocol, block=128, page_frames=128, threshold=64):
+    return SystemConfig(
+        protocol=protocol,
+        machine=MACHINE,
+        caches=CacheParams(
+            l1_size=8 * 1024,
+            block_cache_size=block,
+            page_cache_size=page_frames * SPACE.page_size,
+        ),
+        space=SPACE,
+        relocation_threshold=threshold,
+    )
+
+
+class TestReuseStream:
+    """One hot remote page with constant conflict misses: CC-NUMA's
+    worst case, S-COMA's best case, R-NUMA converges to S-COMA."""
+
+    def setup_method(self):
+        self.program = synthetic.reuse_page_stream(MACHINE, SPACE, repeats=2000)
+
+    def run(self, protocol, **kw):
+        return simulate(config(protocol, **kw), [list(t) for t in self.program.traces])
+
+    def test_scoma_beats_ccnuma(self):
+        cc = self.run("ccnuma")
+        sc = self.run("scoma")
+        assert sc.exec_cycles < cc.exec_cycles / 2
+
+    def test_rnuma_converges_to_scoma(self):
+        sc = self.run("scoma")
+        rn = self.run("rnuma")
+        assert rn.exec_cycles < 1.25 * sc.exec_cycles
+
+    def test_rnuma_relocates_exactly_once(self):
+        rn = self.run("rnuma")
+        assert rn.total("relocations") == 1
+
+    def test_ccnuma_refetches_forever(self):
+        cc = self.run("ccnuma")
+        assert cc.total("refetches") > 1000
+
+
+class TestStreamingPages:
+    """March through many pages once: S-COMA pays an allocation (and
+    eventually a replacement) per page for nothing."""
+
+    def setup_method(self):
+        self.program = synthetic.streaming_pages(MACHINE, SPACE, pages=64)
+
+    def run(self, protocol, **kw):
+        return simulate(config(protocol, page_frames=16, **kw),
+                        [list(t) for t in self.program.traces])
+
+    def test_ccnuma_beats_scoma(self):
+        cc = self.run("ccnuma")
+        sc = self.run("scoma")
+        assert cc.exec_cycles < sc.exec_cycles
+
+    def test_rnuma_stays_cc_and_tracks_ccnuma(self):
+        cc = self.run("ccnuma")
+        rn = self.run("rnuma")
+        assert rn.total("relocations") == 0
+        assert rn.exec_cycles <= 1.05 * cc.exec_cycles
+
+    def test_scoma_replaces_pages(self):
+        sc = self.run("scoma")
+        assert sc.total("page_replacements") >= 64 - 16
+
+
+class TestWorstCaseBound:
+    """The EQ 1 adversarial stream: R-NUMA relocates each page exactly
+    at the threshold and never benefits.  Its measured overhead vs
+    CC-NUMA must stay within the model's bound (plus simulator slack
+    for the parts of execution the model ignores)."""
+
+    def test_overhead_within_model_bound(self):
+        threshold = 16
+        program = synthetic.worst_case_for_rnuma(
+            MACHINE, SPACE, threshold=threshold, pages=16
+        )
+        traces = [list(t) for t in program.traces]
+        cc = simulate(config("ccnuma", threshold=threshold), traces)
+        rn = simulate(config("rnuma", threshold=threshold), traces)
+        ideal = simulate(config("ideal", threshold=threshold), traces)
+
+        # Overheads relative to the ideal machine (the model's frame).
+        o_cc = cc.exec_cycles - ideal.exec_cycles
+        o_rn = rn.exec_cycles - ideal.exec_cycles
+        assert o_cc > 0
+        params = ModelParameters.from_costs(
+            cc.config.costs, blocks_flushed=2
+        )
+        bound = CompetitiveModel(params).ratio_vs_ccnuma(threshold)
+        # The model ignores contention and fault costs; allow 35% slack.
+        assert o_rn <= o_cc * bound * 1.35
+
+    def test_rnuma_relocated_every_page(self):
+        program = synthetic.worst_case_for_rnuma(MACHINE, SPACE, threshold=8, pages=8)
+        rn = simulate(config("rnuma", threshold=8), [list(t) for t in program.traces])
+        assert rn.total("relocations") == 8
+
+
+class TestProtocolEquivalences:
+    """Sanity cross-checks between protocols."""
+
+    def test_ideal_is_lower_bound_on_reuse(self):
+        program = synthetic.reuse_page_stream(MACHINE, SPACE, repeats=500)
+        traces = [list(t) for t in program.traces]
+        ideal = simulate(config("ideal"), traces)
+        for protocol in ("ccnuma", "scoma", "rnuma"):
+            other = simulate(config(protocol), traces)
+            assert other.exec_cycles >= 0.95 * ideal.exec_cycles
+
+    def test_rnuma_with_huge_threshold_acts_like_ccnuma(self):
+        program = synthetic.reuse_page_stream(MACHINE, SPACE, repeats=300)
+        traces = [list(t) for t in program.traces]
+        cc = simulate(config("ccnuma"), traces)
+        rn = simulate(config("rnuma", threshold=10 ** 6), traces)
+        assert rn.total("relocations") == 0
+        assert abs(rn.exec_cycles - cc.exec_cycles) / cc.exec_cycles < 0.02

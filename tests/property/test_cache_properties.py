@@ -1,0 +1,103 @@
+"""Property-based tests for the cache structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caches.block_cache import BlockCache
+from repro.caches.l1 import L1Cache
+from repro.caches.page_cache import PageCache
+from repro.coherence.states import EXCLUSIVE, INVALID, MODIFIED, OWNED, SHARED
+
+VALID_STATES = (SHARED, EXCLUSIVE, OWNED, MODIFIED)
+
+l1_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "invalidate", "set_state", "downgrade"]),
+        st.integers(min_value=0, max_value=63),
+        st.sampled_from(VALID_STATES),
+    ),
+    max_size=200,
+)
+
+
+@given(ops=l1_ops, size_log=st.integers(min_value=0, max_value=4))
+@settings(max_examples=200, deadline=None)
+def test_l1_matches_reference_model(ops, size_log):
+    """The direct-mapped L1 behaves like a dict keyed by set index."""
+    size = 1 << size_log
+    l1 = L1Cache(size)
+    reference = {}  # set index -> (block, state)
+    for op, block, state in ops:
+        idx = block & (size - 1)
+        if op == "insert":
+            l1.insert(block, state)
+            reference[idx] = (block, state)
+        elif op == "invalidate":
+            l1.invalidate(block)
+            if idx in reference and reference[idx][0] == block:
+                del reference[idx]
+        elif op == "set_state":
+            l1.set_state(block, state)
+            if idx in reference and reference[idx][0] == block:
+                reference[idx] = (block, state)
+        else:  # downgrade
+            l1.downgrade_to_shared(block)
+            if idx in reference and reference[idx][0] == block:
+                reference[idx] = (block, SHARED)
+        # The cache agrees with the reference at every step.
+        for i, (b, s) in reference.items():
+            assert l1.state_of(b) == s
+        assert len(l1) == len(reference)
+
+
+@given(ops=l1_ops)
+@settings(max_examples=100, deadline=None)
+def test_l1_never_exceeds_capacity(ops):
+    l1 = L1Cache(4)
+    for op, block, state in ops:
+        if op == "insert":
+            l1.insert(block, state)
+        assert len(l1) <= 4
+
+
+@given(
+    inserts=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=255), st.booleans()),
+        max_size=150,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_block_cache_holds_at_most_one_block_per_set(inserts):
+    bc = BlockCache(8)
+    for block, writable in inserts:
+        bc.insert(block, writable)
+        line = bc.lookup(block)
+        assert line is not None and line.block == block
+        assert line.writable == writable
+    assert len(bc) <= 8
+
+
+@given(
+    pages=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=150, deadline=None)
+def test_page_cache_lrm_matches_reference(pages, capacity):
+    """Insert-or-touch in LRM order must equal a reference list model."""
+    pc = PageCache(capacity)
+    reference = []  # front = least recently missed
+    for page in pages:
+        if page in reference:
+            # remote miss to a resident page: reorder to MRM
+            pc.touch_miss(page)
+            reference.remove(page)
+            reference.append(page)
+        else:
+            if len(reference) == capacity:
+                victim = reference.pop(0)
+                assert pc.victim() == victim
+                pc.evict(victim)
+            pc.insert(page)
+            reference.append(page)
+        assert pc.resident_pages() == reference
+        assert len(pc) <= capacity

@@ -1,0 +1,79 @@
+"""Property-based tests for the directory protocol."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.directory import NO_OWNER, Directory
+
+NODES = 4
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "writeback", "flush", "home_read", "home_write"]),
+        st.integers(min_value=0, max_value=7),     # block
+        st.integers(min_value=0, max_value=NODES - 1),  # node
+    ),
+    max_size=300,
+)
+
+
+@given(ops=ops)
+@settings(max_examples=200, deadline=None)
+def test_directory_invariants_hold_under_any_sequence(ops):
+    d = Directory()
+    held = {}  # block -> set of nodes that were handed data since last inval
+    for op, block, node in ops:
+        if op == "read":
+            out = d.read_request(block, node)
+            # Refetch implies the directory believed the node held it.
+            if out.refetch:
+                assert node in held.get(block, set())
+            held.setdefault(block, set()).add(node)
+        elif op == "write":
+            d.write_request(block, node)
+            held[block] = {node}
+        elif op == "writeback":
+            if d.peek(block) is not None:
+                d.writeback(block, node)
+                # was_held survives a voluntary write-back
+                if node in held.get(block, set()):
+                    assert d.was_held_by(block, node)
+        elif op == "flush":
+            d.flush(block, node)
+            held.get(block, set()).discard(node)
+        elif op == "home_read":
+            d.home_read_access(block, node)
+        else:
+            d.home_write_access(block, node)
+            held[block] = set()
+        entry = d.peek(block)
+        if entry is not None:
+            # Core invariants: exclusive owner is the sole sharer and
+            # is in was_held; was_held tracks our reference model.
+            if entry.owner != NO_OWNER:
+                entry.check()
+            assert entry.was_held == held.get(block, set())
+
+
+@given(
+    readers=st.lists(st.integers(min_value=0, max_value=NODES - 1), max_size=10),
+    writer=st.integers(min_value=0, max_value=NODES - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_write_always_leaves_single_owner(readers, writer):
+    d = Directory()
+    for r in readers:
+        d.read_request(0, r)
+    out = d.write_request(0, writer)
+    assert d.owner_of(0) == writer
+    assert d.sharers_of(0) == {writer}
+    assert set(out.invalidated) == set(readers) - {writer}
+
+
+@given(nodes=st.lists(st.integers(min_value=0, max_value=NODES - 1), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_reads_accumulate_sharers(nodes):
+    d = Directory()
+    for n in nodes:
+        d.read_request(0, n)
+    assert d.sharers_of(0) == set(nodes)

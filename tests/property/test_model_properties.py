@@ -1,0 +1,61 @@
+"""Property-based tests for the competitive model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.competitive import (
+    CompetitiveModel,
+    ModelParameters,
+    optimal_threshold,
+    worst_case_bound,
+)
+
+costs = st.floats(min_value=1.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@given(cref=costs, calloc=costs, crel=costs)
+@settings(max_examples=300, deadline=None)
+def test_eq3_intersection_always_holds(cref, calloc, crel):
+    m = CompetitiveModel(ModelParameters(cref, calloc, crel))
+    t = m.optimal_threshold
+    assert math.isclose(m.ratio_vs_ccnuma(t), m.ratio_vs_scoma(t), rel_tol=1e-9)
+    assert math.isclose(m.ratio_vs_ccnuma(t), m.bound_at_optimum, rel_tol=1e-9)
+
+
+@given(cref=costs, calloc=costs, crel=costs, factor=st.floats(min_value=0.05, max_value=20.0))
+@settings(max_examples=300, deadline=None)
+def test_optimum_is_global_minimum_of_worst_ratio(cref, calloc, crel, factor):
+    m = CompetitiveModel(ModelParameters(cref, calloc, crel))
+    t_star = m.optimal_threshold
+    assert m.worst_ratio(t_star * factor) >= m.worst_ratio(t_star) - 1e-9
+
+
+@given(cref=costs, calloc=costs)
+@settings(max_examples=200, deadline=None)
+def test_bound_between_two_and_three_when_relocate_cheaper(cref, calloc):
+    # Paper: bound is 2 with free relocation, 3 when Crel == Calloc.
+    for frac in (0.0, 0.5, 1.0):
+        p = ModelParameters(cref, calloc, calloc * frac)
+        assert 2.0 - 1e-9 <= worst_case_bound(p) <= 3.0 + 1e-9
+
+
+@given(cref=costs, calloc=costs, crel=costs)
+@settings(max_examples=200, deadline=None)
+def test_threshold_scales_linearly_with_allocation_cost(cref, calloc, crel):
+    p1 = ModelParameters(cref, calloc, crel)
+    p2 = ModelParameters(cref, calloc * 2, crel)
+    assert math.isclose(optimal_threshold(p2), 2 * optimal_threshold(p1), rel_tol=1e-9)
+
+
+@given(cref=costs, calloc=costs, crel=costs, t=st.floats(min_value=0.01, max_value=1e5))
+@settings(max_examples=300, deadline=None)
+def test_rnuma_overhead_decomposition(cref, calloc, crel, t):
+    """O_R = O_CC(T) + Crel + O_S always (the EQ 1/2 numerators agree)."""
+    m = CompetitiveModel(ModelParameters(cref, calloc, crel))
+    assert math.isclose(
+        m.overhead_rnuma(t),
+        m.overhead_ccnuma(t) + crel + m.overhead_scoma(),
+        rel_tol=1e-12,
+    )

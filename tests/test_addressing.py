@@ -1,0 +1,83 @@
+"""Unit tests for repro.common.addressing."""
+
+import pytest
+
+from repro.common.addressing import AddressSpace
+from repro.common.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        space = AddressSpace()
+        assert space.block_size == 64
+        assert space.page_size == 4096
+        assert space.blocks_per_page == 64
+
+    def test_block_shift(self):
+        assert AddressSpace(64, 4096).block_shift == 6
+        assert AddressSpace(32, 4096).block_shift == 5
+
+    def test_page_shift(self):
+        assert AddressSpace(64, 4096).page_shift == 12
+        assert AddressSpace(64, 8192).page_shift == 13
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpace(block_size=48)
+
+    def test_rejects_non_power_of_two_page(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpace(page_size=5000)
+
+    def test_rejects_page_smaller_than_block(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpace(block_size=4096, page_size=64)
+
+    def test_rejects_zero_sizes(self):
+        with pytest.raises(ConfigurationError):
+            AddressSpace(block_size=0)
+
+
+class TestArithmetic:
+    def setup_method(self):
+        self.space = AddressSpace(block_size=64, page_size=512)
+
+    def test_block_of(self):
+        assert self.space.block_of(0) == 0
+        assert self.space.block_of(63) == 0
+        assert self.space.block_of(64) == 1
+        assert self.space.block_of(1000) == 15
+
+    def test_page_of(self):
+        assert self.space.page_of(0) == 0
+        assert self.space.page_of(511) == 0
+        assert self.space.page_of(512) == 1
+
+    def test_page_of_block(self):
+        assert self.space.page_of_block(0) == 0
+        assert self.space.page_of_block(7) == 0
+        assert self.space.page_of_block(8) == 1
+
+    def test_blocks_in_page(self):
+        blocks = list(self.space.blocks_in_page(2))
+        assert blocks == list(range(16, 24))
+
+    def test_block_base_roundtrip(self):
+        for block in (0, 1, 17, 255):
+            assert self.space.block_of(self.space.block_base(block)) == block
+
+    def test_page_base_roundtrip(self):
+        for page in (0, 3, 100):
+            assert self.space.page_of(self.space.page_base(page)) == page
+
+    def test_block_offset_in_page(self):
+        assert self.space.block_offset_in_page(0) == 0
+        assert self.space.block_offset_in_page(7) == 7
+        assert self.space.block_offset_in_page(8) == 0
+        assert self.space.block_offset_in_page(13) == 5
+
+    def test_block_and_page_consistent(self):
+        addr = 5 * 512 + 3 * 64 + 7
+        block = self.space.block_of(addr)
+        assert self.space.page_of_block(block) == self.space.page_of(addr)
+        assert self.space.block_offset_in_page(block) == 3

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_list(capsys):
+    out = run_cli(capsys, "list")
+    assert "barnes" in out and "raytrace" in out
+    assert "16K particles" in out
+
+
+def test_run_single_protocol(capsys):
+    out = run_cli(capsys, "run", "fft", "--protocol", "ccnuma", "--scale", "0.1")
+    assert "ccnuma" in out
+    assert "cycles" in out
+
+
+def test_run_all_protocols(capsys):
+    out = run_cli(capsys, "run", "em3d", "--scale", "0.1")
+    for protocol in ("ideal", "ccnuma", "scoma", "rnuma"):
+        assert protocol in out
+
+
+def test_run_custom_threshold(capsys):
+    out = run_cli(
+        capsys, "run", "em3d", "--protocol", "rnuma", "--scale", "0.1",
+        "--threshold", "16",
+    )
+    assert "rnuma" in out
+
+
+def test_figure6_subset(capsys):
+    out = run_cli(capsys, "figure", "6", "--scale", "0.1", "--apps", "em3d")
+    assert "Figure 6" in out and "em3d" in out
+
+
+def test_table1(capsys):
+    out = run_cli(capsys, "table", "1")
+    assert "C_refetch" in out
+
+
+def test_table2(capsys):
+    out = run_cli(capsys, "table", "2")
+    assert "remote fetch" in out
+
+
+def test_table3(capsys):
+    out = run_cli(capsys, "table", "3", "--scale", "0.1")
+    assert "moldyn" in out
+
+
+def test_table4_small(capsys):
+    out = run_cli(capsys, "table", "4", "--scale", "0.1")
+    assert "Table 4" in out
+
+
+def test_ablation_placement(capsys):
+    out = run_cli(
+        capsys, "ablation", "placement", "--scale", "0.1", "--apps", "em3d"
+    )
+    assert "Ablation" in out
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "linpack"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])

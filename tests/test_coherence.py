@@ -1,0 +1,215 @@
+"""Unit tests for MOESI states and the directory protocol, including
+the refetch-detection semantics R-NUMA depends on."""
+
+import pytest
+
+from repro.coherence.directory import NO_OWNER, Directory
+from repro.coherence.states import (
+    EXCLUSIVE,
+    INVALID,
+    MODIFIED,
+    OWNED,
+    SHARED,
+    can_supply,
+    is_dirty,
+    is_valid,
+    state_name,
+)
+from repro.common.errors import ProtocolError
+
+
+class TestStates:
+    def test_names(self):
+        assert state_name(INVALID) == "I"
+        assert state_name(MODIFIED) == "M"
+        assert state_name(OWNED) == "O"
+        assert state_name(EXCLUSIVE) == "E"
+        assert state_name(SHARED) == "S"
+
+    def test_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            state_name(17)
+
+    def test_is_valid(self):
+        assert not is_valid(INVALID)
+        assert all(is_valid(s) for s in (SHARED, EXCLUSIVE, OWNED, MODIFIED))
+
+    def test_is_dirty(self):
+        assert is_dirty(MODIFIED) and is_dirty(OWNED)
+        assert not is_dirty(SHARED) and not is_dirty(EXCLUSIVE)
+
+    def test_can_supply_is_the_mbus_rule(self):
+        # Owned/modified/exclusive lines respond; plain SHARED does not.
+        assert can_supply(MODIFIED) and can_supply(OWNED) and can_supply(EXCLUSIVE)
+        assert not can_supply(SHARED) and not can_supply(INVALID)
+
+
+class TestDirectoryReads:
+    def test_cold_read_is_not_refetch(self):
+        d = Directory()
+        out = d.read_request(7, node=1)
+        assert not out.refetch
+        assert out.prev_owner == NO_OWNER
+        assert d.sharers_of(7) == {1}
+        assert d.was_held_by(7, 1)
+
+    def test_second_read_same_node_is_refetch(self):
+        # Non-notifying protocol: the node silently dropped its copy.
+        d = Directory()
+        d.read_request(7, node=1)
+        out = d.read_request(7, node=1)
+        assert out.refetch
+
+    def test_read_by_other_node_not_refetch(self):
+        d = Directory()
+        d.read_request(7, node=1)
+        out = d.read_request(7, node=2)
+        assert not out.refetch
+        assert d.sharers_of(7) == {1, 2}
+
+    def test_read_downgrades_exclusive_owner(self):
+        d = Directory()
+        d.write_request(7, node=1)
+        out = d.read_request(7, node=2)
+        assert out.prev_owner == 1
+        assert d.owner_of(7) == NO_OWNER
+        assert d.sharers_of(7) == {1, 2}
+
+
+class TestDirectoryWrites:
+    def test_cold_write_takes_ownership(self):
+        d = Directory()
+        out = d.write_request(5, node=2)
+        assert not out.refetch
+        assert out.invalidated == ()
+        assert d.owner_of(5) == 2
+
+    def test_write_invalidates_sharers(self):
+        d = Directory()
+        d.read_request(5, node=0)
+        d.read_request(5, node=1)
+        out = d.write_request(5, node=2)
+        assert set(out.invalidated) == {0, 1}
+        assert d.owner_of(5) == 2
+        assert d.sharers_of(5) == {2}
+
+    def test_invalidation_clears_was_held(self):
+        # After a coherence invalidation the next miss must NOT count
+        # as a refetch — it is a communication miss.
+        d = Directory()
+        d.read_request(5, node=0)
+        d.write_request(5, node=1)
+        out = d.read_request(5, node=0)
+        assert not out.refetch
+
+    def test_write_after_own_read_is_upgrade_refetch(self):
+        d = Directory()
+        d.read_request(5, node=0)
+        out = d.write_request(5, node=0)
+        assert out.refetch  # node held it (directory's view) and re-asked
+        assert d.owner_of(5) == 0
+
+    def test_write_steals_ownership(self):
+        d = Directory()
+        d.write_request(5, node=0)
+        out = d.write_request(5, node=1)
+        assert out.prev_owner == 0
+        assert 0 in out.invalidated
+
+
+class TestVoluntaryWriteback:
+    def test_writeback_keeps_was_held(self):
+        # The paper's "previously held exclusive, voluntarily wrote it
+        # back" state: a later request by the same node is a refetch.
+        d = Directory()
+        d.write_request(9, node=3)
+        d.writeback(9, node=3)
+        assert d.owner_of(9) == NO_OWNER
+        out = d.read_request(9, node=3)
+        assert out.refetch
+
+    def test_write_between_writeback_and_rerequest_is_coherence(self):
+        d = Directory()
+        d.write_request(9, node=3)
+        d.writeback(9, node=3)
+        d.write_request(9, node=4)
+        out = d.read_request(9, node=3)
+        assert not out.refetch
+
+    def test_writeback_untracked_raises(self):
+        with pytest.raises(ProtocolError):
+            Directory().writeback(9, node=3)
+
+
+class TestFlush:
+    def test_flush_forgets_node(self):
+        # S-COMA replacement: the node gives the page back entirely.
+        d = Directory()
+        d.read_request(9, node=3)
+        d.flush(9, node=3)
+        assert not d.was_held_by(9, 3)
+        out = d.read_request(9, node=3)
+        assert not out.refetch
+
+    def test_flush_clears_ownership(self):
+        d = Directory()
+        d.write_request(9, node=3)
+        d.flush(9, node=3)
+        assert d.owner_of(9) == NO_OWNER
+
+    def test_flush_untracked_is_noop(self):
+        Directory().flush(9, node=3)
+
+
+class TestHomeAccesses:
+    def test_home_read_never_refetch(self):
+        d = Directory()
+        d.read_request(9, node=1)  # some remote sharer
+        out = d.home_read_access(9, home=0)
+        assert not out.refetch
+        assert out.prev_owner == NO_OWNER
+
+    def test_home_read_recalls_owner(self):
+        d = Directory()
+        d.write_request(9, node=1)
+        out = d.home_read_access(9, home=0)
+        assert out.prev_owner == 1
+        assert d.owner_of(9) == NO_OWNER
+
+    def test_home_write_invalidates_everyone(self):
+        d = Directory()
+        d.read_request(9, node=1)
+        d.read_request(9, node=2)
+        out = d.home_write_access(9, home=0)
+        assert set(out.invalidated) == {1, 2}
+        assert d.sharers_of(9) == frozenset()
+        # Next miss by the displaced node is a coherence miss.
+        assert not d.read_request(9, node=1).refetch
+
+    def test_home_access_untracked_block(self):
+        d = Directory()
+        assert d.home_read_access(9, home=0).prev_owner == NO_OWNER
+        assert d.home_write_access(9, home=0).invalidated == ()
+
+
+class TestEntryInvariants:
+    def test_check_passes_for_valid_states(self):
+        d = Directory()
+        d.write_request(1, node=0)
+        d.entry(1).check()
+        d.read_request(1, node=1)
+        d.entry(1).check()
+
+    def test_check_detects_corruption(self):
+        d = Directory()
+        d.write_request(1, node=0)
+        d.entry(1).sharers.add(5)
+        with pytest.raises(ProtocolError):
+            d.entry(1).check()
+
+    def test_len_counts_entries(self):
+        d = Directory()
+        d.read_request(1, 0)
+        d.read_request(2, 0)
+        assert len(d) == 2
+        assert d.peek(3) is None

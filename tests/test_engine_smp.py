@@ -1,0 +1,117 @@
+"""Engine tests for multi-CPU nodes: the intra-node MOESI snoop,
+cache-to-cache transfers, the MBus read-only rule, and bus contention.
+
+Geometry: 2 nodes x 2 CPUs, otherwise the tiny conftest geometry.
+"""
+
+import pytest
+
+from repro.common.params import CacheParams, MachineParams
+from repro.common.records import Access, Barrier
+from repro.sim.engine import SimulationEngine, simulate
+
+from tests.conftest import TINY_SPACE, tiny_config
+
+SMP_MACHINE = MachineParams(nodes=2, cpus_per_node=2)
+HOMES = {0: 0, 1: 1}
+
+
+def smp_config(protocol="ccnuma", **overrides):
+    return tiny_config(protocol, machine=SMP_MACHINE, **overrides)
+
+
+def run(config, *traces, homes=None):
+    barrier_seq = [i for i in traces[0] if isinstance(i, Barrier)]
+    padded = [list(t) for t in traces] + [
+        list(barrier_seq)
+        for _ in range(SMP_MACHINE.total_cpus - len(traces))
+    ]
+    return simulate(config, padded, dict(homes or HOMES))
+
+
+class TestIntraNodeSnoop:
+    def test_dirty_line_supplied_cache_to_cache(self):
+        # CPU 0 writes a local block; CPU 1 (same node) reads it: the
+        # MOESI snoop supplies it without touching memory twice.
+        r = run(smp_config(), [Access(0, True), Barrier(0)], [Barrier(0), Access(0)])
+        assert r.total("cache_to_cache") == 1
+
+    def test_shared_copy_does_not_supply_remote_read(self):
+        # MBus rule: CPU 0 holds a *remote* block SHARED (fetched once);
+        # CPU 1's read must go to the block cache / home, not peer L1.
+        cfg = smp_config()
+        r = run(cfg, [Access(512), Barrier(0)], [Barrier(0), Access(512)])
+        # CPU 1's miss hits the block cache (SHARED peers don't respond).
+        assert r.total("block_cache_hits") == 1
+        assert r.total("cache_to_cache") == 0
+
+    def test_exclusive_clean_line_supplies(self):
+        # A local read that grants EXCLUSIVE supplies a later peer read.
+        r = run(smp_config(), [Access(0), Barrier(0)], [Barrier(0), Access(0)])
+        assert r.total("cache_to_cache") == 1
+
+    def test_write_invalidates_peer_copies(self):
+        # CPU 0 and CPU 1 both read a local block; CPU 1 writes it;
+        # CPU 0's next read misses (its copy was invalidated locally).
+        trace0 = [Access(0), Barrier(0), Barrier(1), Access(0)]
+        trace1 = [Access(0), Barrier(0), Access(0, True), Barrier(1)]
+        r = run(smp_config(), trace0, trace1)
+        assert r.total("l1_misses") >= 3
+
+    def test_peer_write_then_read_back(self):
+        # Ping-pong between two CPUs of one node stays intra-node.
+        trace0 = [Access(0, True), Barrier(0), Barrier(1), Access(0, True)]
+        trace1 = [Barrier(0), Access(0, True), Barrier(1)]
+        r = run(smp_config(), trace0, trace1)
+        assert r.total("remote_fetches") == 0
+        assert r.total("cache_to_cache") >= 2
+
+
+class TestNodeLevelSharing:
+    def test_block_cache_shared_by_node_cpus(self):
+        # CPU 0 fetches a remote block; CPU 1's later miss (after its
+        # own L1 conflict) is served by the shared block cache.
+        trace0 = [Access(512), Barrier(0)]
+        trace1 = [Barrier(0), Access(512)]
+        r = run(smp_config(), trace0, trace1)
+        assert r.total("remote_fetches") == 1
+        assert r.total("block_cache_hits") == 1
+
+    def test_page_cache_shared_by_node_cpus(self):
+        trace0 = [Access(512), Barrier(0)]
+        trace1 = [Barrier(0), Access(512)]
+        r = run(smp_config("scoma"), trace0, trace1)
+        assert r.total("page_faults") == 1      # one allocation per node
+        assert r.total("remote_fetches") == 1
+        assert r.total("page_cache_hits") == 1
+
+    def test_rnuma_counters_are_per_node_not_per_cpu(self):
+        # Both CPUs of node 0 generate refetches on the same page; the
+        # shared counter must cross the threshold (2) and relocate.
+        cfg = smp_config("rnuma")
+        trace0 = [Access(512), Access(640)] * 3
+        trace1 = [Access(512), Access(640)] * 3
+        engine = SimulationEngine(
+            cfg, [list(trace0), list(trace1), [], []], dict(HOMES)
+        )
+        r = engine.run()
+        assert r.total("relocations") == 1
+
+
+class TestBusContention:
+    def test_concurrent_misses_queue_on_the_bus(self):
+        # Two CPUs issuing simultaneous misses must serialize; compare
+        # against one CPU doing the same work alone.
+        n = 30
+        both = run(
+            smp_config(),
+            [Access(64 * (i % 8)) for i in range(n)],
+            [Access(64 * (i % 8) + 2048) for i in range(n)],
+            homes={0: 0, 1: 1, 4: 0},
+        )
+        bus = None
+        engine = SimulationEngine(
+            smp_config(), [[Access(0)], [], [], []], dict(HOMES)
+        )
+        engine.run()
+        assert both.stats.node(0).stall_cycles > 0

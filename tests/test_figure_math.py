@@ -1,0 +1,103 @@
+"""Pure-math tests for the figure result dataclasses (no simulation)."""
+
+import pytest
+
+from repro.experiments.figure5 import Figure5Result
+from repro.experiments.figure6 import Figure6Result
+from repro.experiments.figure7 import Figure7Result
+from repro.experiments.figure8 import Figure8Result
+from repro.experiments.figure9 import Figure9Result
+
+
+class TestFigure5Math:
+    def make(self):
+        r = Figure5Result()
+        # 4 pages, refetch counts 70/20/10/0 -> CDF over 4 pages.
+        r.curves["app"] = [(0.25, 0.7), (0.5, 0.9), (0.75, 1.0), (1.0, 1.0)]
+        r.total_refetches["app"] = 100
+        r.remote_pages["app"] = 4
+        return r
+
+    def test_exact_points(self):
+        r = self.make()
+        assert r.refetch_share("app", 0.25) == pytest.approx(0.7)
+        assert r.refetch_share("app", 1.0) == pytest.approx(1.0)
+
+    def test_interpolation(self):
+        r = self.make()
+        assert r.refetch_share("app", 0.375) == pytest.approx(0.8)
+
+    def test_zero_fraction(self):
+        assert self.make().refetch_share("app", 0.0) == pytest.approx(0.0)
+
+    def test_empty_curve(self):
+        r = Figure5Result()
+        r.curves["x"] = []
+        assert r.refetch_share("x", 0.5) == 0.0
+
+
+class TestFigure6Math:
+    def make(self, cc, s, r):
+        fig = Figure6Result()
+        fig.normalized["app"] = {"CC-NUMA": cc, "S-COMA": s, "R-NUMA": r}
+        return fig
+
+    def test_worst_case_vs_best(self):
+        fig = self.make(2.0, 1.0, 1.5)
+        assert fig.worst_case_vs_best("app") == pytest.approx(1.5)
+
+    def test_rnuma_beating_both(self):
+        fig = self.make(1.3, 1.2, 1.0)
+        assert fig.worst_case_vs_best("app") < 1.0
+
+    def test_headline_never_worst_detection(self):
+        good = self.make(2.0, 1.0, 1.9)
+        bad = self.make(2.0, 1.0, 2.5)
+        assert good.headline_claims()["rnuma_never_worst"] == 1.0
+        assert bad.headline_claims()["rnuma_never_worst"] == 0.0
+
+    def test_headline_ratios(self):
+        fig = self.make(3.0, 1.5, 1.6)
+        claims = fig.headline_claims()
+        assert claims["ccnuma_worst_vs_scoma"] == pytest.approx(2.0)
+        assert claims["scoma_worst_vs_ccnuma"] == pytest.approx(0.5)
+
+
+class TestFigure7Math:
+    def test_sensitivities(self):
+        fig = Figure7Result()
+        fig.normalized["app"] = {
+            "CC b=1K": 3.0,
+            "CC b=32K": 1.5,
+            "R b=128,p=320K": 2.0,
+            "R b=32K,p=320K": 1.2,
+            "R b=128,p=40M": 1.0,
+        }
+        assert fig.cc_sensitivity("app") == pytest.approx(2.0)
+        assert fig.rnuma_page_cache_gain("app") == pytest.approx(2.0)
+
+
+class TestFigure8Math:
+    def test_variation_and_best(self):
+        fig = Figure8Result(thresholds=(16, 64, 256))
+        fig.normalized["app"] = {16: 0.8, 64: 1.0, 256: 1.2}
+        assert fig.variation("app") == pytest.approx(0.5)
+        assert fig.best_threshold("app") == 16
+
+    def test_flat_app(self):
+        fig = Figure8Result(thresholds=(16, 64))
+        fig.normalized["app"] = {16: 1.0, 64: 1.0}
+        assert fig.variation("app") == pytest.approx(0.0)
+
+
+class TestFigure9Math:
+    def test_degradations(self):
+        fig = Figure9Result()
+        fig.normalized["app"] = {
+            "S-COMA": 2.0,
+            "S-COMA-SOFT": 6.0,
+            "R-NUMA": 1.2,
+            "R-NUMA-SOFT": 1.5,
+        }
+        assert fig.scoma_degradation("app") == pytest.approx(3.0)
+        assert fig.rnuma_degradation("app") == pytest.approx(1.25)

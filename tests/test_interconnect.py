@@ -1,0 +1,98 @@
+"""Unit tests for BusyResource and Network contention modeling."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import CostParams
+from repro.interconnect.network import Network
+from repro.interconnect.resource import BusyResource
+
+
+class TestBusyResource:
+    def test_idle_resource_no_wait(self):
+        r = BusyResource("bus")
+        assert r.acquire(100, 20) == 0
+        assert r.free_at == 120
+
+    def test_back_to_back_queues(self):
+        r = BusyResource()
+        r.acquire(0, 20)
+        assert r.acquire(0, 20) == 20
+        assert r.acquire(0, 20) == 40
+        assert r.free_at == 60
+
+    def test_gap_resets_wait(self):
+        r = BusyResource()
+        r.acquire(0, 10)
+        assert r.acquire(50, 10) == 0
+
+    def test_out_of_order_arrival_queues_conservatively(self):
+        r = BusyResource()
+        r.acquire(100, 10)
+        # An "earlier" arrival still queues behind the recorded one.
+        assert r.acquire(90, 10) == 20
+
+    def test_peek_wait(self):
+        r = BusyResource()
+        r.acquire(0, 30)
+        assert r.peek_wait(10) == 20
+        assert r.peek_wait(100) == 0
+
+    def test_accounting(self):
+        r = BusyResource()
+        r.acquire(0, 5)
+        r.acquire(0, 5)
+        assert r.transactions == 2
+        assert r.busy_cycles == 10
+        r.reset()
+        assert r.transactions == 0 and r.free_at == 0
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BusyResource().acquire(0, -1)
+
+
+class TestNetwork:
+    def test_uncontended_round_trip_has_no_delay(self):
+        net = Network(4, CostParams())
+        assert net.round_trip_delay(0, 1, now=0) == 0
+        assert net.messages == 1
+
+    def test_ni_contention_adds_delay(self):
+        costs = CostParams()
+        net = Network(4, costs)
+        net.round_trip_delay(0, 1, now=0)
+        # Second request from node 0 at the same instant queues at its NI.
+        delay = net.round_trip_delay(0, 2, now=0)
+        assert delay >= costs.ni_occupancy
+
+    def test_home_rad_contention(self):
+        costs = CostParams()
+        net = Network(4, costs)
+        # Two different sources hit the same home back to back.
+        net.round_trip_delay(0, 3, now=0)
+        delay = net.round_trip_delay(1, 3, now=0)
+        assert delay >= costs.rad_occupancy
+
+    def test_extra_home_occupancy(self):
+        costs = CostParams()
+        net = Network(4, costs)
+        net.round_trip_delay(0, 3, now=0, extra_home_occupancy=100)
+        delay = net.round_trip_delay(1, 3, now=0)
+        assert delay >= costs.rad_occupancy + 100 - costs.ni_occupancy
+
+    def test_one_way_uses_only_source_ni(self):
+        net = Network(4, CostParams())
+        assert net.one_way_delay(2, now=0) == 0
+        assert net.one_way_delay(2, now=0) > 0
+
+    def test_reset(self):
+        net = Network(2, CostParams())
+        net.round_trip_delay(0, 1, now=0)
+        net.reset()
+        assert net.messages == 0
+        assert net.round_trip_delay(0, 1, now=0) == 0
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Network(0, CostParams())

@@ -1,0 +1,111 @@
+"""Unit tests for the competitive model (Section 3.2, EQ 1-3)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import BASE_COSTS
+from repro.model.competitive import (
+    CompetitiveModel,
+    ModelParameters,
+    optimal_threshold,
+    worst_case_bound,
+)
+
+
+def params(cref=376.0, calloc=7000.0, crel=7000.0):
+    return ModelParameters(c_refetch=cref, c_allocate=calloc, c_relocate=crel)
+
+
+class TestParameters:
+    def test_from_costs(self):
+        p = ModelParameters.from_costs(BASE_COSTS, blocks_flushed=0)
+        assert p.c_refetch == BASE_COSTS.remote_fetch
+        assert p.c_allocate == BASE_COSTS.page_op_cost(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModelParameters(0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            ModelParameters(1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            ModelParameters(1, 1, -1)
+
+
+class TestEquations:
+    def test_eq1_ratio_vs_ccnuma(self):
+        m = CompetitiveModel(params())
+        t = 10.0
+        expected = (t * 376 + 7000 + 7000) / (t * 376)
+        assert math.isclose(m.ratio_vs_ccnuma(t), expected)
+
+    def test_eq2_ratio_vs_scoma(self):
+        m = CompetitiveModel(params())
+        t = 10.0
+        expected = (t * 376 + 7000 + 7000) / 7000
+        assert math.isclose(m.ratio_vs_scoma(t), expected)
+
+    def test_eq3_threshold(self):
+        p = params()
+        assert math.isclose(optimal_threshold(p), 7000 / 376)
+
+    def test_eq3_bound(self):
+        assert math.isclose(worst_case_bound(params()), 3.0)
+        # Aggressive relocation hardware: bound approaches 2.
+        assert math.isclose(worst_case_bound(params(crel=0.0)), 2.0)
+
+    def test_intersection_at_optimum(self):
+        m = CompetitiveModel(params())
+        assert m.verify_intersection()
+        t = m.optimal_threshold
+        assert math.isclose(m.ratio_vs_ccnuma(t), m.ratio_vs_scoma(t))
+        assert math.isclose(m.ratio_vs_ccnuma(t), m.bound_at_optimum)
+
+    def test_threshold_independent_of_relocation_cost(self):
+        # EQ 3: T* depends only on C_allocate / C_refetch.
+        assert math.isclose(
+            optimal_threshold(params(crel=100.0)),
+            optimal_threshold(params(crel=90000.0)),
+        )
+
+    def test_paper_bound_range(self):
+        # With relocation ~ allocation, the bound is ~3; never below 2.
+        for crel_factor in (0.0, 0.25, 0.5, 1.0):
+            p = params(crel=7000.0 * crel_factor)
+            assert 2.0 <= worst_case_bound(p) <= 3.0
+
+
+class TestOptimality:
+    def test_optimum_minimizes_worst_ratio(self):
+        m = CompetitiveModel(params())
+        t_star = m.optimal_threshold
+        best = m.worst_ratio(t_star)
+        for t in (t_star / 8, t_star / 2, t_star * 2, t_star * 8):
+            assert m.worst_ratio(t) >= best - 1e-12
+
+    def test_ratios_move_oppositely_in_threshold(self):
+        m = CompetitiveModel(params())
+        # vs CC-NUMA: decreasing in T.  vs S-COMA: increasing in T.
+        assert m.ratio_vs_ccnuma(5) > m.ratio_vs_ccnuma(50)
+        assert m.ratio_vs_scoma(5) < m.ratio_vs_scoma(50)
+
+    def test_overheads(self):
+        m = CompetitiveModel(params())
+        assert m.overhead_ccnuma(10) == 3760
+        assert m.overhead_scoma() == 7000
+        assert m.overhead_rnuma(10) == 3760 + 14000
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CompetitiveModel(params()).overhead_ccnuma(0)
+
+
+class TestPaperBaseNumbers:
+    def test_base_system_threshold_near_paper_value(self):
+        # With the paper's costs, T* = Calloc/Cref; for a typical page
+        # op (~half a page flushed) that is a few dozen refetches —
+        # the same order as the paper's default threshold of 64.
+        p = ModelParameters.from_costs(BASE_COSTS, blocks_flushed=32)
+        t = optimal_threshold(p)
+        assert 8 <= t <= 64

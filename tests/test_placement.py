@@ -1,0 +1,65 @@
+"""Unit tests for first-touch page placement."""
+
+from repro.common.addressing import AddressSpace
+from repro.common.params import MachineParams
+from repro.common.records import Access, Barrier
+from repro.osint.placement import first_touch_homes
+
+SPACE = AddressSpace(block_size=64, page_size=512)
+MACHINE = MachineParams(nodes=2, cpus_per_node=1)
+
+
+def test_single_toucher():
+    traces = [[Access(0, True)], []]
+    homes = first_touch_homes(traces, MACHINE, SPACE)
+    assert homes == {0: 0}
+
+
+def test_each_cpu_homes_its_pages():
+    traces = [
+        [Access(0, True), Access(512, True)],
+        [Access(1024, True), Access(1536, True)],
+    ]
+    homes = first_touch_homes(traces, MACHINE, SPACE)
+    assert homes == {0: 0, 1: 0, 2: 1, 3: 1}
+
+
+def test_round_robin_interleaving_decides_ties():
+    # Both CPUs touch page 0; CPU 0's touch is at the same index, and
+    # lower CPU ids win ties in the round-robin pre-pass.
+    traces = [[Access(0, True)], [Access(64, True)]]
+    homes = first_touch_homes(traces, MACHINE, SPACE)
+    assert homes[0] == 0
+
+
+def test_earlier_index_wins_regardless_of_cpu():
+    # CPU 1 touches page 0 at index 0; CPU 0 only at index 1.
+    traces = [
+        [Access(512, True), Access(0, True)],
+        [Access(0, True)],
+    ]
+    homes = first_touch_homes(traces, MACHINE, SPACE)
+    assert homes[0] == 1
+
+
+def test_barriers_are_skipped():
+    traces = [
+        [Barrier(0), Access(0, True)],
+        [Barrier(0)],
+    ]
+    homes = first_touch_homes(traces, MACHINE, SPACE)
+    assert homes == {0: 0}
+
+
+def test_empty_traces():
+    assert first_touch_homes([[], []], MACHINE, SPACE) == {}
+
+
+def test_all_pages_assigned():
+    traces = [
+        [Access(i * 512, False) for i in range(10)],
+        [Access((i + 10) * 512, True) for i in range(10)],
+    ]
+    homes = first_touch_homes(traces, MACHINE, SPACE)
+    assert len(homes) == 20
+    assert set(homes.values()) <= {0, 1}

@@ -1,0 +1,84 @@
+"""Unit tests for the protocol policy classes."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.protocols import make_policy
+from repro.protocols.ccnuma import CCNumaPolicy
+from repro.protocols.ideal import IdealPolicy
+from repro.protocols.rnuma import RNumaPolicy
+from repro.protocols.scoma import SComaPolicy
+from repro.vm.page_table import MAP_CC, MAP_SCOMA
+
+from tests.conftest import tiny_config
+
+
+class TestFactory:
+    def test_known_protocols(self):
+        assert isinstance(make_policy("ccnuma"), CCNumaPolicy)
+        assert isinstance(make_policy("scoma"), SComaPolicy)
+        assert isinstance(make_policy("rnuma"), RNumaPolicy)
+        assert isinstance(make_policy("ideal"), IdealPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("flat-coma")
+
+    def test_names(self):
+        for name in ("ccnuma", "scoma", "rnuma", "ideal"):
+            assert make_policy(name).name == name
+
+
+class TestFaultHandling:
+    def test_ccnuma_maps_cc(self):
+        machine = Machine(tiny_config("ccnuma"))
+        node = machine.nodes[0]
+        cost = make_policy("ccnuma").on_page_fault(machine, node, 3)
+        assert node.page_table.mapping_of(3) == MAP_CC
+        assert cost == machine.config.costs.soft_trap
+
+    def test_scoma_allocates(self):
+        machine = Machine(tiny_config("scoma"))
+        node = machine.nodes[0]
+        make_policy("scoma").on_page_fault(machine, node, 3)
+        assert node.page_table.mapping_of(3) == MAP_SCOMA
+
+    def test_rnuma_starts_cc(self):
+        machine = Machine(tiny_config("rnuma"))
+        node = machine.nodes[0]
+        make_policy("rnuma").on_page_fault(machine, node, 3)
+        assert node.page_table.mapping_of(3) == MAP_CC
+
+    def test_default_on_refetch_is_free(self):
+        machine = Machine(tiny_config("ccnuma"))
+        node = machine.nodes[0]
+        assert make_policy("ccnuma").on_refetch(machine, node, 3) == 0
+
+
+class TestRNumaRefetchCounting:
+    def setup_method(self):
+        self.machine = Machine(tiny_config("rnuma", relocation_threshold=3))
+        self.node = self.machine.nodes[0]
+        self.policy = make_policy("rnuma")
+        self.policy.on_page_fault(self.machine, self.node, 3)
+
+    def test_counts_up_to_threshold(self):
+        assert self.policy.on_refetch(self.machine, self.node, 3) == 0
+        assert self.policy.on_refetch(self.machine, self.node, 3) == 0
+        assert self.node.refetch_counters[3] == 2
+        cost = self.policy.on_refetch(self.machine, self.node, 3)
+        assert cost > 0  # relocation happened
+        assert self.node.page_table.mapping_of(3) == MAP_SCOMA
+
+    def test_non_cc_pages_ignored(self):
+        # After relocation, further refetch notifications are free.
+        for _ in range(3):
+            self.policy.on_refetch(self.machine, self.node, 3)
+        assert self.policy.on_refetch(self.machine, self.node, 3) == 0
+        assert self.node.stats.relocations == 1
+
+    def test_independent_counters_per_page(self):
+        self.policy.on_page_fault(self.machine, self.node, 4)
+        self.policy.on_refetch(self.machine, self.node, 3)
+        self.policy.on_refetch(self.machine, self.node, 4)
+        assert self.node.refetch_counters == {3: 1, 4: 1}

@@ -1,0 +1,53 @@
+"""The public API surface: everything README/examples rely on."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_snippet():
+    """The README quickstart, verbatim (at reduced scale)."""
+    from repro import base_rnuma_config, build_program, ideal_config, simulate
+
+    program = build_program("fft", scale=0.1)
+    baseline = simulate(ideal_config(), program.traces)
+    result = simulate(base_rnuma_config(), program.traces)
+    assert result.normalized_to(baseline) > 0
+    assert "refetches" in result.summary()
+
+
+def test_experiments_namespace():
+    from repro import experiments
+
+    for name in (
+        "compute_figure5",
+        "compute_figure6",
+        "compute_figure7",
+        "compute_figure8",
+        "compute_figure9",
+        "compute_table4",
+        "compute_relocation_ablation",
+        "compute_replacement_ablation",
+        "compute_placement_ablation",
+    ):
+        assert hasattr(experiments, name), name
+
+
+def test_workload_registry_matches_table3():
+    assert len(repro.APPLICATIONS) == 10
+    assert repro.workload_names() == sorted(repro.workload_names())
+
+
+def test_model_exports():
+    params = repro.ModelParameters(376.0, 7000.0, 7000.0)
+    model = repro.CompetitiveModel(params)
+    assert 2.0 <= model.bound_at_optimum <= 3.0
+    assert repro.optimal_threshold(params) == model.optimal_threshold
+    assert repro.worst_case_bound(params) == model.bound_at_optimum

@@ -1,0 +1,46 @@
+"""Unit tests for SimulationResult."""
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.common.stats import StatsRegistry
+from repro.sim.results import SimulationResult
+
+
+def make_result(exec_cycles=100, refetch_counts=None):
+    return SimulationResult(
+        config=SystemConfig(),
+        exec_cycles=exec_cycles,
+        cpu_finish_times=[exec_cycles],
+        stats=StatsRegistry.for_nodes(2),
+        refetch_counts=refetch_counts or {},
+    )
+
+
+def test_normalized_to():
+    a = make_result(300)
+    b = make_result(100)
+    assert a.normalized_to(b) == pytest.approx(3.0)
+
+
+def test_normalized_to_zero_baseline_raises():
+    with pytest.raises(ValueError):
+        make_result(10).normalized_to(make_result(0))
+
+
+def test_refetches_by_page_sums_nodes():
+    r = make_result(refetch_counts={0: {5: 2, 6: 1}, 1: {5: 3}})
+    assert r.refetches_by_page() == {5: 5, 6: 1}
+
+
+def test_total_delegates_to_stats():
+    r = make_result()
+    r.stats.node(0).refetches = 4
+    r.stats.node(1).refetches = 1
+    assert r.total("refetches") == 5
+
+
+def test_summary_keys():
+    summary = make_result().summary()
+    for key in ("exec_cycles", "remote_fetches", "refetches", "relocations"):
+        assert key in summary

@@ -1,0 +1,124 @@
+"""Unit tests for page tables, the translation table, and the TLB."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.vm.page_table import (
+    MAP_CC,
+    MAP_LOCAL,
+    MAP_SCOMA,
+    MAP_UNMAPPED,
+    PageTable,
+    mapping_name,
+)
+from repro.vm.tlb import Tlb
+from repro.vm.translation import TranslationTable
+
+
+class TestPageTable:
+    def test_default_unmapped(self):
+        assert PageTable().mapping_of(7) == MAP_UNMAPPED
+
+    def test_map_states(self):
+        pt = PageTable()
+        pt.map_local(1)
+        pt.map_cc(2)
+        pt.map_scoma(3)
+        assert pt.mapping_of(1) == MAP_LOCAL
+        assert pt.mapping_of(2) == MAP_CC
+        assert pt.mapping_of(3) == MAP_SCOMA
+        assert len(pt) == 3
+
+    def test_unmap(self):
+        pt = PageTable()
+        pt.map_cc(2)
+        pt.unmap(2)
+        assert pt.mapping_of(2) == MAP_UNMAPPED
+
+    def test_unmap_unmapped_raises(self):
+        with pytest.raises(ProtocolError):
+            PageTable().unmap(2)
+
+    def test_remap_without_unmap_raises(self):
+        pt = PageTable()
+        pt.map_cc(2)
+        with pytest.raises(ProtocolError):
+            pt.map_scoma(2)
+
+    def test_idempotent_same_state(self):
+        pt = PageTable()
+        pt.map_cc(2)
+        pt.map_cc(2)  # allowed: same state
+        assert pt.mapping_of(2) == MAP_CC
+
+    def test_pages_mapped(self):
+        pt = PageTable()
+        pt.map_cc(1)
+        pt.map_cc(2)
+        pt.map_scoma(3)
+        assert sorted(pt.pages_mapped(MAP_CC)) == [1, 2]
+        assert pt.pages_mapped(MAP_SCOMA) == [3]
+
+    def test_mapping_name(self):
+        assert mapping_name(MAP_CC) == "cc-numa"
+        assert mapping_name(MAP_SCOMA) == "s-coma"
+        with pytest.raises(ValueError):
+            mapping_name(99)
+
+
+class TestTranslationTable:
+    def test_install_and_lookup(self):
+        tt = TranslationTable()
+        frame = tt.install(100)
+        assert tt.frame_of(100) == frame
+        assert tt.page_of(frame) == 100
+        assert 100 in tt
+        assert len(tt) == 1
+
+    def test_frames_are_distinct(self):
+        tt = TranslationTable()
+        frames = {tt.install(p) for p in range(10)}
+        assert len(frames) == 10
+
+    def test_remove_recycles_frames(self):
+        tt = TranslationTable()
+        f = tt.install(100)
+        tt.remove(100)
+        assert tt.frame_of(100) is None
+        assert tt.page_of(f) is None
+        assert tt.install(200) == f  # recycled
+
+    def test_double_install_raises(self):
+        tt = TranslationTable()
+        tt.install(1)
+        with pytest.raises(ProtocolError):
+            tt.install(1)
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(ProtocolError):
+            TranslationTable().remove(1)
+
+
+class TestTlb:
+    def test_fill_and_contains(self):
+        tlb = Tlb()
+        tlb.fill(4)
+        assert 4 in tlb
+        assert tlb.fills == 1
+        tlb.fill(4)  # duplicate fill not counted
+        assert tlb.fills == 1
+
+    def test_shootdown(self):
+        tlb = Tlb()
+        tlb.fill(4)
+        assert tlb.shoot_down(4) is True
+        assert 4 not in tlb
+        assert tlb.shoot_down(4) is False
+        assert tlb.shootdowns == 2
+
+    def test_flush(self):
+        tlb = Tlb()
+        for p in range(5):
+            tlb.fill(p)
+        tlb.flush()
+        assert len(tlb) == 0
