@@ -1,10 +1,15 @@
 """Micro-benchmarks of the simulation engine itself: simulated accesses
 per second on an L1-hit-dominated stream and on a miss-heavy stream.
-These guard against hot-path regressions."""
+These guard against hot-path regressions.  The executor benchmarks at
+the bottom measure the multiprocessing fan-out against the same sweep
+run serially (the speedup tracks the machine's core count)."""
 
 from repro.common.addressing import AddressSpace
 from repro.common.params import CacheParams, MachineParams, SystemConfig
 from repro.common.records import Access, Barrier
+from repro.experiments.config import cc_config, ideal, rnuma_config, scoma_config
+from repro.experiments.executor import Executor, Job
+from repro.experiments.runner import ResultCache
 from repro.sim.engine import simulate
 
 SPACE = AddressSpace()
@@ -60,3 +65,25 @@ def bench_engine_rnuma_relocations(benchmark):
         lambda: simulate(config, [list(t) for t in program.traces])
     )
     assert result.total("relocations") == 16
+
+
+def _sweep_jobs(scale=0.25):
+    # The Figure 6 shape: four systems across two apps — the smallest
+    # sweep with meaningful fan-out.
+    configs = (ideal(), cc_config(), scoma_config(), rnuma_config())
+    return [Job(app, cfg, scale) for app in ("em3d", "moldyn") for cfg in configs]
+
+
+def bench_executor_serial_sweep(benchmark):
+    jobs = _sweep_jobs()
+    results = benchmark(lambda: Executor(workers=1, cache=ResultCache()).run(jobs))
+    assert len(results) == len(jobs)
+
+
+def bench_executor_parallel_sweep(benchmark):
+    # Fresh cache per round so the timed body is the fan-out itself;
+    # compare against bench_executor_serial_sweep for the speedup.
+    jobs = _sweep_jobs()
+    results = benchmark(lambda: Executor(workers=4, cache=ResultCache()).run(jobs))
+    assert len(results) == len(jobs)
+    assert all(r.exec_cycles > 0 for r in results)

@@ -12,12 +12,18 @@ Commands
     Regenerate a paper table.
 ``ablation {relocation,replacement,placement}``
     Run one of the design-choice ablations.
+``reproduce``
+    Regenerate every figure and table (plus the ablations and the
+    cluster-size extension) in one deduplicated sweep, fanned out over
+    ``--jobs`` worker processes and backed by the persistent result
+    store, so a second invocation does near-zero simulation work.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.common.params import (
@@ -35,18 +41,31 @@ from repro.experiments import (
     compute_placement_ablation,
     compute_relocation_ablation,
     compute_replacement_ablation,
+    compute_scaling,
     compute_table4,
+    figure5_jobs,
+    figure6_jobs,
+    figure7_jobs,
+    figure8_jobs,
+    figure9_jobs,
     format_ablation,
     format_figure5,
     format_figure6,
     format_figure7,
     format_figure8,
     format_figure9,
+    format_scaling,
     format_table1,
     format_table2,
     format_table3,
     format_table4,
+    placement_ablation_jobs,
+    relocation_ablation_jobs,
+    replacement_ablation_jobs,
+    scaling_jobs,
+    table4_jobs,
 )
+from repro.experiments.executor import Executor, ResultStore, default_store_dir
 from repro.experiments.runner import ResultCache
 from repro.sim.engine import simulate
 from repro.workloads.registry import APPLICATIONS, build_program, workload_names
@@ -59,18 +78,59 @@ _PROTOCOL_CONFIGS = {
 }
 
 _FIGURES = {
-    "5": (compute_figure5, format_figure5),
-    "6": (compute_figure6, format_figure6),
-    "7": (compute_figure7, format_figure7),
-    "8": (compute_figure8, format_figure8),
-    "9": (compute_figure9, format_figure9),
+    "5": (figure5_jobs, compute_figure5, format_figure5),
+    "6": (figure6_jobs, compute_figure6, format_figure6),
+    "7": (figure7_jobs, compute_figure7, format_figure7),
+    "8": (figure8_jobs, compute_figure8, format_figure8),
+    "9": (figure9_jobs, compute_figure9, format_figure9),
 }
 
 _ABLATIONS = {
-    "relocation": compute_relocation_ablation,
-    "replacement": compute_replacement_ablation,
-    "placement": compute_placement_ablation,
+    "relocation": (relocation_ablation_jobs, compute_relocation_ablation),
+    "replacement": (replacement_ablation_jobs, compute_replacement_ablation),
+    "placement": (placement_ablation_jobs, compute_placement_ablation),
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the simulation fan-out (default: 1)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent result-store directory (default: "
+            "$REPRO_STORE_DIR or ~/.cache/repro-rnuma)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="skip the on-disk result store (in-memory cache only)",
+    )
+
+
+def _make_executor(args: argparse.Namespace) -> Executor:
+    store = None
+    if not args.no_store:
+        root = Path(args.store) if args.store else default_store_dir()
+        try:
+            store = ResultStore(root)
+        except OSError as exc:
+            raise SystemExit(f"repro: cannot use result store {root}: {exc}")
+    return Executor(workers=args.jobs, cache=ResultCache(), store=store)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,15 +158,26 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("number", choices=sorted(_FIGURES))
     fig_p.add_argument("--scale", type=float, default=1.0)
     fig_p.add_argument("--apps", nargs="*", default=None)
+    _add_executor_args(fig_p)
 
     tab_p = sub.add_parser("table", help="regenerate a paper table")
     tab_p.add_argument("number", choices=["1", "2", "3", "4"])
     tab_p.add_argument("--scale", type=float, default=1.0)
+    _add_executor_args(tab_p)
 
     abl_p = sub.add_parser("ablation", help="run a design-choice ablation")
     abl_p.add_argument("which", choices=sorted(_ABLATIONS))
     abl_p.add_argument("--scale", type=float, default=1.0)
     abl_p.add_argument("--apps", nargs="*", default=None)
+    _add_executor_args(abl_p)
+
+    rep_p = sub.add_parser(
+        "reproduce",
+        help="regenerate every figure and table in one deduplicated sweep",
+    )
+    rep_p.add_argument("--scale", type=float, default=1.0)
+    rep_p.add_argument("--apps", nargs="*", default=None)
+    _add_executor_args(rep_p)
 
     return parser
 
@@ -140,8 +211,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
 
 def _cmd_figure(args: argparse.Namespace) -> None:
-    compute, render = _FIGURES[args.number]
-    result = compute(scale=args.scale, apps=args.apps, cache=ResultCache())
+    _, compute, render = _FIGURES[args.number]
+    result = compute(scale=args.scale, apps=args.apps, executor=_make_executor(args))
     print(render(result))
 
 
@@ -153,13 +224,59 @@ def _cmd_table(args: argparse.Namespace) -> None:
     elif args.number == "3":
         print(format_table3(scale=args.scale))
     else:
-        print(format_table4(compute_table4(scale=args.scale, cache=ResultCache())))
+        print(
+            format_table4(
+                compute_table4(scale=args.scale, executor=_make_executor(args))
+            )
+        )
 
 
 def _cmd_ablation(args: argparse.Namespace) -> None:
-    compute = _ABLATIONS[args.which]
-    result = compute(scale=args.scale, apps=args.apps, cache=ResultCache())
+    _, compute = _ABLATIONS[args.which]
+    result = compute(scale=args.scale, apps=args.apps, executor=_make_executor(args))
     print(format_ablation(result))
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> None:
+    """Full paper sweep: one deduplicated job set, one executor."""
+    executor = _make_executor(args)
+    scale, apps = args.scale, args.apps
+
+    # Enumerate every figure/table/ablation/extension simulation up
+    # front so overlapping configurations are submitted exactly once.
+    jobs = []
+    for jobs_fn, _, _ in _FIGURES.values():
+        jobs += jobs_fn(scale, apps)
+    jobs += table4_jobs(scale, apps)
+    for jobs_fn, _ in _ABLATIONS.values():
+        jobs += jobs_fn(scale, apps)
+    jobs += scaling_jobs(scale, apps)
+    unique = len({job.key for job in jobs})
+    print(
+        f"reproduce: {len(jobs)} simulations, {unique} unique after "
+        f"dedup, {args.jobs} worker(s)"
+        + ("" if executor.store is None else f", store={executor.store.root}"),
+        file=sys.stderr,
+    )
+    executor.run(jobs)
+
+    # All compute calls below hit the warm executor.
+    sections = [format_table1(), format_table2(), format_table3(scale=scale)]
+    for number in sorted(_FIGURES):
+        _, compute, render = _FIGURES[number]
+        sections.append(render(compute(scale=scale, apps=apps, executor=executor)))
+    sections.append(
+        format_table4(compute_table4(scale=scale, apps=apps, executor=executor))
+    )
+    for which in sorted(_ABLATIONS):
+        _, compute = _ABLATIONS[which]
+        sections.append(
+            format_ablation(compute(scale=scale, apps=apps, executor=executor))
+        )
+    sections.append(
+        format_scaling(compute_scaling(scale=scale, apps=apps, executor=executor))
+    )
+    print("\n\n".join(sections))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -174,6 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_table(args)
     elif args.command == "ablation":
         _cmd_ablation(args)
+    elif args.command == "reproduce":
+        _cmd_reproduce(args)
     return 0
 
 

@@ -29,7 +29,8 @@ more expensive.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict
 
 from repro.common.addressing import AddressSpace
 from repro.common.errors import ConfigurationError
@@ -258,3 +259,26 @@ def base_rnuma_config(threshold: int = 64) -> SystemConfig:
 def ideal_config() -> SystemConfig:
     """CC-NUMA with an effectively infinite block cache."""
     return SystemConfig(protocol="ideal")
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    """A JSON-safe plain-dict form of a :class:`SystemConfig`."""
+    return asdict(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_to_dict` output.
+
+    Validation reruns in each dataclass ``__post_init__``, so a tampered
+    payload raises :class:`ConfigurationError` rather than producing a
+    half-valid config.
+    """
+    return SystemConfig(
+        protocol=data["protocol"],
+        machine=MachineParams(**data["machine"]),
+        caches=CacheParams(**data["caches"]),
+        costs=CostParams(**data["costs"]),
+        space=AddressSpace(**data["space"]),
+        relocation_threshold=data["relocation_threshold"],
+        relocation_mode=data["relocation_mode"],
+    )

@@ -1,9 +1,11 @@
 """Experiment harness: one module per paper table/figure.
 
-Every ``compute_*`` function runs the required simulations (sharing a
-:class:`ResultCache` so overlapping configurations are simulated once)
-and returns a plain dataclass; every ``format_*`` function renders the
-same rows/series the paper reports as ASCII.
+Every ``compute_*`` function enumerates its simulations up front (the
+``*_jobs`` functions) and submits them through an
+:class:`~repro.experiments.executor.Executor`, which deduplicates
+overlapping configurations, fans them out across worker processes, and
+persists results in an on-disk :class:`ResultStore`; every ``format_*``
+function renders the same rows/series the paper reports as ASCII.
 """
 
 from repro.experiments.config import (
@@ -13,20 +15,42 @@ from repro.experiments.config import (
     rnuma_config,
     scoma_config,
 )
-from repro.experiments.runner import ResultCache, run_app
+from repro.experiments.executor import (
+    Executor,
+    Job,
+    ResultStore,
+    STORE_SCHEMA_VERSION,
+    default_store_dir,
+    ensure_executor,
+)
+from repro.experiments.runner import (
+    ResultCache,
+    clear_default_cache,
+    default_cache,
+    run_app,
+    run_key,
+    set_default_cache,
+)
 from repro.experiments.ablations import (
     compute_placement_ablation,
     compute_relocation_ablation,
     compute_replacement_ablation,
     format_ablation,
+    placement_ablation_jobs,
+    relocation_ablation_jobs,
+    replacement_ablation_jobs,
 )
-from repro.experiments.extension_scaling import compute_scaling, format_scaling
-from repro.experiments.figure5 import compute_figure5, format_figure5
-from repro.experiments.figure6 import compute_figure6, format_figure6
-from repro.experiments.figure7 import compute_figure7, format_figure7
-from repro.experiments.figure8 import compute_figure8, format_figure8
-from repro.experiments.figure9 import compute_figure9, format_figure9
-from repro.experiments.table4 import compute_table4, format_table4
+from repro.experiments.extension_scaling import (
+    compute_scaling,
+    format_scaling,
+    scaling_jobs,
+)
+from repro.experiments.figure5 import compute_figure5, figure5_jobs, format_figure5
+from repro.experiments.figure6 import compute_figure6, figure6_jobs, format_figure6
+from repro.experiments.figure7 import compute_figure7, figure7_jobs, format_figure7
+from repro.experiments.figure8 import compute_figure8, figure8_jobs, format_figure8
+from repro.experiments.figure9 import compute_figure9, figure9_jobs, format_figure9
+from repro.experiments.table4 import compute_table4, format_table4, table4_jobs
 from repro.experiments.tables import (
     format_table1,
     format_table2,
@@ -35,13 +59,21 @@ from repro.experiments.tables import (
 
 __all__ = [
     "EXPERIMENT_APPS",
+    "Executor",
+    "Job",
     "ResultCache",
+    "ResultStore",
+    "STORE_SCHEMA_VERSION",
     "cc_config",
+    "clear_default_cache",
     "compute_figure5",
     "compute_placement_ablation",
     "compute_relocation_ablation",
     "compute_replacement_ablation",
     "compute_scaling",
+    "default_cache",
+    "default_store_dir",
+    "ensure_executor",
     "format_ablation",
     "format_scaling",
     "compute_figure6",
@@ -49,6 +81,11 @@ __all__ = [
     "compute_figure8",
     "compute_figure9",
     "compute_table4",
+    "figure5_jobs",
+    "figure6_jobs",
+    "figure7_jobs",
+    "figure8_jobs",
+    "figure9_jobs",
     "format_figure5",
     "format_figure6",
     "format_figure7",
@@ -59,7 +96,14 @@ __all__ = [
     "format_table3",
     "format_table4",
     "ideal",
+    "placement_ablation_jobs",
+    "relocation_ablation_jobs",
+    "replacement_ablation_jobs",
     "rnuma_config",
     "run_app",
+    "run_key",
+    "scaling_jobs",
     "scoma_config",
+    "set_default_cache",
+    "table4_jobs",
 ]

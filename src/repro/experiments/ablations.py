@@ -19,11 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from dataclasses import replace as dc_replace
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import EXPERIMENT_APPS, cc_config, ideal, rnuma_config, scoma_config
+from repro.experiments.executor import Executor, Job, ensure_executor
 from repro.experiments.reporting import render_table
-from repro.experiments.runner import ResultCache, run_app
+from repro.experiments.runner import ResultCache
 from repro.osint.placement import round_robin_homes
 from repro.sim.engine import simulate
 from repro.workloads.registry import build_program
@@ -45,26 +46,36 @@ class AblationResult:
         return row[variant] / row[baseline]
 
 
+def _flush_rnuma_config():
+    return dc_replace(rnuma_config(), relocation_mode="flush")
+
+
+def relocation_ablation_jobs(
+    scale: float = 1.0, apps: Optional[Sequence[str]] = None
+) -> List[Job]:
+    apps = list(apps or DEFAULT_ABLATION_APPS)
+    configs = (ideal(), rnuma_config(), _flush_rnuma_config())
+    return [Job(app, cfg, scale) for app in apps for cfg in configs]
+
+
 def compute_relocation_ablation(
     scale: float = 1.0,
     apps: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
 ) -> AblationResult:
     """R-NUMA with local block moves vs. flush-home relocation."""
     apps = list(apps or DEFAULT_ABLATION_APPS)
+    exe = ensure_executor(executor, cache)
+    exe.run(relocation_ablation_jobs(scale, apps))
     out = AblationResult(
         title="Ablation: relocation implementation (Section 3.2)",
         variants=("R-NUMA local-move", "R-NUMA flush-home"),
     )
     for app in apps:
-        base = run_app(app, ideal(), scale=scale, cache=cache)
-        local = run_app(app, rnuma_config(), scale=scale, cache=cache)
-        flush = run_app(
-            app,
-            dc_replace(rnuma_config(), relocation_mode="flush"),
-            scale=scale,
-            cache=cache,
-        )
+        base = exe.run_app(app, ideal(), scale=scale)
+        local = exe.run_app(app, rnuma_config(), scale=scale)
+        flush = exe.run_app(app, _flush_rnuma_config(), scale=scale)
         out.normalized[app] = {
             "R-NUMA local-move": local.normalized_to(base),
             "R-NUMA flush-home": flush.normalized_to(base),
@@ -72,49 +83,75 @@ def compute_relocation_ablation(
     return out
 
 
+def _scoma_policy_config(policy: str):
+    cfg = scoma_config()
+    return dc_replace(cfg, caches=dc_replace(cfg.caches, page_replacement=policy))
+
+
+def replacement_ablation_jobs(
+    scale: float = 1.0, apps: Optional[Sequence[str]] = None
+) -> List[Job]:
+    apps = list(apps or DEFAULT_ABLATION_APPS)
+    configs = [ideal()] + [
+        _scoma_policy_config(p) for p in ("lrm", "lru", "fifo")
+    ]
+    return [Job(app, cfg, scale) for app in apps for cfg in configs]
+
+
 def compute_replacement_ablation(
     scale: float = 1.0,
     apps: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
 ) -> AblationResult:
     """S-COMA under LRM (paper), LRU, and FIFO page replacement."""
     apps = list(apps or DEFAULT_ABLATION_APPS)
+    exe = ensure_executor(executor, cache)
+    exe.run(replacement_ablation_jobs(scale, apps))
     out = AblationResult(
         title="Ablation: page-cache replacement policy (Section 4)",
         variants=("S-COMA lrm", "S-COMA lru", "S-COMA fifo"),
     )
     for app in apps:
-        base = run_app(app, ideal(), scale=scale, cache=cache)
+        base = exe.run_app(app, ideal(), scale=scale)
         row = {}
         for policy in ("lrm", "lru", "fifo"):
-            cfg = scoma_config()
-            cfg = dc_replace(
-                cfg, caches=dc_replace(cfg.caches, page_replacement=policy)
-            )
-            result = run_app(app, cfg, scale=scale, cache=cache)
+            result = exe.run_app(app, _scoma_policy_config(policy), scale=scale)
             row[f"S-COMA {policy}"] = result.normalized_to(base)
         out.normalized[app] = row
     return out
+
+
+def placement_ablation_jobs(
+    scale: float = 1.0, apps: Optional[Sequence[str]] = None
+) -> List[Job]:
+    apps = list(apps or DEFAULT_ABLATION_APPS)
+    configs = (ideal(), cc_config())
+    return [Job(app, cfg, scale) for app in apps for cfg in configs]
 
 
 def compute_placement_ablation(
     scale: float = 1.0,
     apps: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
 ) -> AblationResult:
     """CC-NUMA with first-touch vs. round-robin page placement.
 
-    Round-robin homes are outside the ResultCache's key space, so those
-    runs are simulated directly (they are the point of the ablation).
+    Round-robin homes are outside the run-key space (the key does not
+    capture a user-supplied home map), so those runs are simulated
+    directly rather than through the executor's cache/store.
     """
     apps = list(apps or DEFAULT_ABLATION_APPS)
+    exe = ensure_executor(executor, cache)
+    exe.run(placement_ablation_jobs(scale, apps))
     out = AblationResult(
         title="Ablation: page placement (Section 2.1, first-touch migration)",
         variants=("CC first-touch", "CC round-robin"),
     )
     for app in apps:
-        base = run_app(app, ideal(), scale=scale, cache=cache)
-        first_touch = run_app(app, cc_config(), scale=scale, cache=cache)
+        base = exe.run_app(app, ideal(), scale=scale)
+        first_touch = exe.run_app(app, cc_config(), scale=scale)
         cfg = cc_config()
         program = build_program(app, machine=cfg.machine, space=cfg.space, scale=scale)
         homes = round_robin_homes(program.traces, cfg.machine, cfg.space)

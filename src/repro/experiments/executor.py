@@ -1,0 +1,253 @@
+"""Parallel experiment execution with a persistent on-disk result store.
+
+The figure/table modules enumerate their simulations up front as
+:class:`Job` values and hand the whole set to an :class:`Executor`,
+which:
+
+1. deduplicates jobs by :func:`repro.experiments.runner.run_key`
+   (the ideal baseline and base CC/S/R systems recur across figures);
+2. satisfies what it can from its in-memory :class:`ResultCache` and
+   its :class:`ResultStore` (JSON-per-key files under a cache
+   directory);
+3. fans the remaining simulations out over ``workers`` processes via
+   :mod:`multiprocessing`, in deterministic job order;
+4. writes fresh results back to both layers.
+
+Simulations are deterministic, so a parallel run produces bit-identical
+results to a serial one, and a second ``python -m repro reproduce``
+against a warm store does near-zero simulation work.
+
+Store invalidation is by schema version: :data:`STORE_SCHEMA_VERSION`
+participates in the key hash *and* is checked in the payload, so
+bumping it (whenever the simulator's timing or counters change
+meaning) orphans every stale entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError
+from repro.common.params import SystemConfig
+from repro.experiments.runner import ResultCache, default_cache, run_key
+from repro.sim.engine import simulate
+from repro.sim.results import SimulationResult
+from repro.workloads.registry import build_program
+
+#: Bump whenever stored results become incomparable with fresh ones
+#: (engine timing changes, counter semantics, serialization layout).
+STORE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default store location.
+STORE_ENV_VAR = "REPRO_STORE_DIR"
+
+
+def default_store_dir() -> Path:
+    """Where ``python -m repro reproduce`` keeps results by default."""
+    env = os.environ.get(STORE_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro-rnuma").expanduser()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation to run: an application under a configuration."""
+
+    app: str
+    config: SystemConfig
+    scale: float = 1.0
+
+    @property
+    def key(self) -> Tuple:
+        return run_key(self.app, self.config, self.scale)
+
+
+def _simulate_job(job: Job) -> SimulationResult:
+    """Worker body: build the program and simulate (top level so it
+    pickles under every multiprocessing start method)."""
+    program = build_program(
+        job.app, machine=job.config.machine, space=job.config.space, scale=job.scale
+    )
+    return simulate(job.config, program.traces)
+
+
+class ResultStore:
+    """JSON-per-key persistent result store.
+
+    Each entry is one file named by the SHA-256 of
+    ``(schema_version, run_key)``; the payload repeats both so loads can
+    reject version mismatches and (vanishingly unlikely) hash
+    collisions.  Writes go through a temp file + rename so an
+    interrupted run never leaves a truncated entry.
+    """
+
+    def __init__(
+        self, root: Path, schema_version: int = STORE_SCHEMA_VERSION
+    ) -> None:
+        self.root = Path(root)
+        self.schema_version = schema_version
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, job: Job) -> Path:
+        digest = hashlib.sha256(
+            repr((self.schema_version, job.key)).encode()
+        ).hexdigest()
+        return self.root / f"{digest}.json"
+
+    def load(self, job: Job) -> Optional[SimulationResult]:
+        """The stored result for ``job``, or None if absent/stale/corrupt."""
+        path = self.path_for(job)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema_version") != self.schema_version:
+            return None
+        if payload.get("key") != repr(job.key):
+            return None
+        try:
+            return SimulationResult.from_json_dict(payload["result"])
+        except (KeyError, TypeError, ValueError, ReproError):
+            # ReproError covers config validation rejecting tampered
+            # payloads (e.g. a negative node count).
+            return None
+
+    def save(self, job: Job, result: SimulationResult) -> None:
+        payload = {
+            "schema_version": self.schema_version,
+            "key": repr(job.key),
+            "app": job.app,
+            "scale": job.scale,
+            "result": result.to_json_dict(),
+        }
+        path = self.path_for(job)
+        # Unique temp name per writer: concurrent processes saving the
+        # same key must not truncate each other mid-write.
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> None:
+        for path in self.root.glob("*.json"):
+            path.unlink()
+        for orphan in self.root.glob("*.tmp"):
+            orphan.unlink()
+
+
+class Executor:
+    """Runs job sets across worker processes, backed by cache + store."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache if cache is not None else ResultCache()
+        self.store = store
+
+    # -- lookup layers -------------------------------------------------
+
+    def _lookup(self, job: Job) -> Optional[SimulationResult]:
+        """Cache, then store (promoting store hits into the cache)."""
+        result = self.cache.get(job.key)
+        if result is not None:
+            return result
+        if self.store is not None:
+            result = self.store.load(job)
+            if result is not None:
+                self.cache.put(job.key, result)
+        return result
+
+    def _insert(self, job: Job, result: SimulationResult) -> None:
+        self.cache.put(job.key, result)
+        if self.store is not None:
+            self.store.save(job, result)
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> List[SimulationResult]:
+        """Run every job, reusing cache/store; results in input order.
+
+        Duplicate jobs (same :func:`run_key`) are simulated once.
+        Pending simulations run in deterministic first-seen order, so a
+        parallel run observes exactly the serial schedule's job list.
+        """
+        unique: Dict[Tuple, Job] = {}
+        for job in jobs:
+            unique.setdefault(job.key, job)
+
+        resolved: Dict[Tuple, SimulationResult] = {}
+        pending: List[Job] = []
+        for key, job in unique.items():
+            result = self._lookup(job)
+            if result is None:
+                pending.append(job)
+            else:
+                resolved[key] = result
+
+        if pending:
+            for job, result in zip(pending, self._simulate_all(pending)):
+                self._insert(job, result)
+                resolved[job.key] = result
+
+        return [resolved[job.key] for job in jobs]
+
+    def _simulate_all(self, pending: Sequence[Job]) -> List[SimulationResult]:
+        if self.workers == 1 or len(pending) == 1:
+            return [_simulate_job(job) for job in pending]
+        with multiprocessing.Pool(processes=min(self.workers, len(pending))) as pool:
+            # map() preserves input order -> deterministic results.
+            return pool.map(_simulate_job, pending, chunksize=1)
+
+    def run_app(
+        self, app: str, config: SystemConfig, scale: float = 1.0
+    ) -> SimulationResult:
+        """One job through the same cache/store layers (serial path).
+
+        After :meth:`run` has warmed the executor with a module's job
+        set, this is a pure in-memory lookup.
+        """
+        job = Job(app=app, config=config, scale=scale)
+        result = self._lookup(job)
+        if result is None:
+            result = _simulate_job(job)
+            self._insert(job, result)
+        return result
+
+
+def ensure_executor(
+    executor: Optional[Executor] = None, cache: Optional[ResultCache] = None
+) -> Executor:
+    """Resolve the executor a compute function should use.
+
+    Experiment modules accept either a full ``executor`` or (for
+    backward compatibility) a bare ``cache``; with neither, they share
+    the process-wide default cache through a serial executor.
+    """
+    if executor is not None:
+        return executor
+    return Executor(workers=1, cache=cache if cache is not None else default_cache())

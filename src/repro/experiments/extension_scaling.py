@@ -17,12 +17,13 @@ the winner at every size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.params import MachineParams
 from repro.experiments.config import cc_config, ideal, rnuma_config, scoma_config
+from repro.experiments.executor import Executor, Job, ensure_executor
 from repro.experiments.reporting import render_table
-from repro.experiments.runner import ResultCache, run_app
+from repro.experiments.runner import ResultCache
 
 DEFAULT_SCALING_APPS = ("em3d", "moldyn", "barnes")
 NODE_COUNTS = (4, 8, 16)
@@ -47,26 +48,50 @@ class ScalingResult:
         )
 
 
+def _scaling_configs(nodes: int):
+    machine = MachineParams(nodes=nodes, cpus_per_node=4)
+    return (
+        replace(ideal(), machine=machine),
+        {
+            "CC-NUMA": replace(cc_config(), machine=machine),
+            "S-COMA": replace(scoma_config(), machine=machine),
+            "R-NUMA": replace(rnuma_config(), machine=machine),
+        },
+    )
+
+
+def scaling_jobs(
+    scale: float = 1.0,
+    apps: Optional[Sequence[str]] = None,
+    node_counts: Sequence[int] = NODE_COUNTS,
+) -> List[Job]:
+    apps = list(apps or DEFAULT_SCALING_APPS)
+    jobs = []
+    for nodes in node_counts:
+        base_cfg, configs = _scaling_configs(nodes)
+        for app in apps:
+            jobs.append(Job(app, base_cfg, scale))
+            jobs.extend(Job(app, cfg, scale) for cfg in configs.values())
+    return jobs
+
+
 def compute_scaling(
     scale: float = 1.0,
     apps: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
     node_counts: Sequence[int] = NODE_COUNTS,
+    executor: Optional[Executor] = None,
 ) -> ScalingResult:
     apps = list(apps or DEFAULT_SCALING_APPS)
+    exe = ensure_executor(executor, cache)
+    exe.run(scaling_jobs(scale, apps, node_counts))
     out = ScalingResult(node_counts=tuple(node_counts))
     for nodes in node_counts:
-        machine = MachineParams(nodes=nodes, cpus_per_node=4)
-        configs = {
-            "CC-NUMA": replace(cc_config(), machine=machine),
-            "S-COMA": replace(scoma_config(), machine=machine),
-            "R-NUMA": replace(rnuma_config(), machine=machine),
-        }
-        base_cfg = replace(ideal(), machine=machine)
+        base_cfg, configs = _scaling_configs(nodes)
         for app in apps:
-            base = run_app(app, base_cfg, scale=scale, cache=cache)
+            base = exe.run_app(app, base_cfg, scale=scale)
             out.normalized[(app, nodes)] = {
-                name: run_app(app, cfg, scale=scale, cache=cache).normalized_to(base)
+                name: exe.run_app(app, cfg, scale=scale).normalized_to(base)
                 for name, cfg in configs.items()
             }
     return out

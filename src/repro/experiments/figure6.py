@@ -14,7 +14,7 @@ worse than the other.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import (
     EXPERIMENT_APPS,
@@ -23,7 +23,8 @@ from repro.experiments.config import (
     rnuma_config,
     scoma_config,
 )
-from repro.experiments.runner import ResultCache, run_app
+from repro.experiments.executor import Executor, Job, ensure_executor
+from repro.experiments.runner import ResultCache
 from repro.experiments.reporting import render_bar_chart, render_table
 
 PROTOCOLS = ("CC-NUMA", "S-COMA", "R-NUMA")
@@ -64,23 +65,39 @@ class Figure6Result:
         }
 
 
-def compute_figure6(
-    scale: float = 1.0,
-    apps: Optional[Sequence[str]] = None,
-    cache: Optional[ResultCache] = None,
-) -> Figure6Result:
-    apps = list(apps or EXPERIMENT_APPS)
-    configs = {
+def _figure6_configs():
+    return {
         "CC-NUMA": cc_config(),
         "S-COMA": scoma_config(),
         "R-NUMA": rnuma_config(),
     }
+
+
+def figure6_jobs(
+    scale: float = 1.0, apps: Optional[Sequence[str]] = None
+) -> List[Job]:
+    """Every simulation Figure 6 needs, enumerated up front."""
+    apps = list(apps or EXPERIMENT_APPS)
+    configs = [ideal()] + list(_figure6_configs().values())
+    return [Job(app, cfg, scale) for app in apps for cfg in configs]
+
+
+def compute_figure6(
+    scale: float = 1.0,
+    apps: Optional[Sequence[str]] = None,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
+) -> Figure6Result:
+    apps = list(apps or EXPERIMENT_APPS)
+    exe = ensure_executor(executor, cache)
+    exe.run(figure6_jobs(scale, apps))
+    configs = _figure6_configs()
     out = Figure6Result()
     for app in apps:
-        base = run_app(app, ideal(), scale=scale, cache=cache)
+        base = exe.run_app(app, ideal(), scale=scale)
         row = {}
         for name, cfg in configs.items():
-            result = run_app(app, cfg, scale=scale, cache=cache)
+            result = exe.run_app(app, cfg, scale=scale)
             row[name] = result.normalized_to(base)
         out.normalized[app] = row
     return out

@@ -10,10 +10,11 @@ favouring the low threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import EXPERIMENT_APPS, FIG8_THRESHOLDS, rnuma_config
-from repro.experiments.runner import ResultCache, run_app
+from repro.experiments.executor import Executor, Job, ensure_executor
+from repro.experiments.runner import ResultCache
 from repro.experiments.reporting import render_table
 
 BASE_THRESHOLD = 64
@@ -35,21 +36,37 @@ class Figure8Result:
         return min(row, key=row.get)
 
 
+def figure8_jobs(
+    scale: float = 1.0,
+    apps: Optional[Sequence[str]] = None,
+    thresholds: Sequence[int] = FIG8_THRESHOLDS,
+) -> List[Job]:
+    """Every simulation Figure 8 needs, enumerated up front."""
+    apps = list(apps or EXPERIMENT_APPS)
+    all_thresholds = dict.fromkeys([BASE_THRESHOLD, *thresholds])
+    return [
+        Job(app, rnuma_config(threshold=t), scale)
+        for app in apps
+        for t in all_thresholds
+    ]
+
+
 def compute_figure8(
     scale: float = 1.0,
     apps: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
     thresholds: Sequence[int] = FIG8_THRESHOLDS,
+    executor: Optional[Executor] = None,
 ) -> Figure8Result:
     apps = list(apps or EXPERIMENT_APPS)
+    exe = ensure_executor(executor, cache)
+    exe.run(figure8_jobs(scale, apps, thresholds))
     out = Figure8Result(thresholds=tuple(thresholds))
     for app in apps:
-        base = run_app(
-            app, rnuma_config(threshold=BASE_THRESHOLD), scale=scale, cache=cache
-        )
+        base = exe.run_app(app, rnuma_config(threshold=BASE_THRESHOLD), scale=scale)
         row = {}
         for t in thresholds:
-            result = run_app(app, rnuma_config(threshold=t), scale=scale, cache=cache)
+            result = exe.run_app(app, rnuma_config(threshold=t), scale=scale)
             row[t] = result.normalized_to(base)
         out.normalized[app] = row
     return out

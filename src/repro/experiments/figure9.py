@@ -14,7 +14,7 @@ the critical path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import (
     EXPERIMENT_APPS,
@@ -24,7 +24,8 @@ from repro.experiments.config import (
     scoma_config,
     scoma_soft_config,
 )
-from repro.experiments.runner import ResultCache, run_app
+from repro.experiments.executor import Executor, Job, ensure_executor
+from repro.experiments.runner import ResultCache
 from repro.experiments.reporting import render_table
 
 SYSTEMS = ("S-COMA", "S-COMA-SOFT", "R-NUMA", "R-NUMA-SOFT")
@@ -43,23 +44,39 @@ class Figure9Result:
         return row["R-NUMA-SOFT"] / row["R-NUMA"]
 
 
-def compute_figure9(
-    scale: float = 1.0,
-    apps: Optional[Sequence[str]] = None,
-    cache: Optional[ResultCache] = None,
-) -> Figure9Result:
-    apps = list(apps or EXPERIMENT_APPS)
-    configs = {
+def _figure9_configs():
+    return {
         "S-COMA": scoma_config(),
         "S-COMA-SOFT": scoma_soft_config(),
         "R-NUMA": rnuma_config(),
         "R-NUMA-SOFT": rnuma_soft_config(),
     }
+
+
+def figure9_jobs(
+    scale: float = 1.0, apps: Optional[Sequence[str]] = None
+) -> List[Job]:
+    """Every simulation Figure 9 needs, enumerated up front."""
+    apps = list(apps or EXPERIMENT_APPS)
+    configs = [ideal()] + list(_figure9_configs().values())
+    return [Job(app, cfg, scale) for app in apps for cfg in configs]
+
+
+def compute_figure9(
+    scale: float = 1.0,
+    apps: Optional[Sequence[str]] = None,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
+) -> Figure9Result:
+    apps = list(apps or EXPERIMENT_APPS)
+    exe = ensure_executor(executor, cache)
+    exe.run(figure9_jobs(scale, apps))
+    configs = _figure9_configs()
     out = Figure9Result()
     for app in apps:
-        base = run_app(app, ideal(), scale=scale, cache=cache)
+        base = exe.run_app(app, ideal(), scale=scale)
         out.normalized[app] = {
-            name: run_app(app, cfg, scale=scale, cache=cache).normalized_to(base)
+            name: exe.run_app(app, cfg, scale=scale).normalized_to(base)
             for name, cfg in configs.items()
         }
     return out

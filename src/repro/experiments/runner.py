@@ -3,6 +3,9 @@
 The figures overlap heavily — the ideal baseline appears in every one,
 the base CC/S/R systems in several — so a shared :class:`ResultCache`
 avoids re-simulating.  Keys capture everything that affects a run.
+
+For parallel fan-out and a persistent on-disk store, see
+:mod:`repro.experiments.executor`, which layers on top of this cache.
 """
 
 from __future__ import annotations
@@ -33,6 +36,11 @@ def config_key(config: SystemConfig) -> Tuple:
     )
 
 
+def run_key(app: str, config: SystemConfig, scale: float = 1.0) -> Tuple:
+    """Hashable identity of one simulation run (cache/store key)."""
+    return (app, scale, config_key(config))
+
+
 class ResultCache:
     """Memoizes simulation results per (app, scale, config)."""
 
@@ -42,7 +50,7 @@ class ResultCache:
     def run(
         self, app: str, config: SystemConfig, scale: float = 1.0
     ) -> SimulationResult:
-        key = (app, scale, config_key(config))
+        key = run_key(app, config, scale)
         result = self._results.get(key)
         if result is None:
             program = build_program(
@@ -51,6 +59,14 @@ class ResultCache:
             result = simulate(config, program.traces)
             self._results[key] = result
         return result
+
+    def get(self, key: Tuple) -> Optional[SimulationResult]:
+        """Look up a memoized result by its :func:`run_key`."""
+        return self._results.get(key)
+
+    def put(self, key: Tuple, result: SimulationResult) -> None:
+        """Insert a result computed elsewhere (executor fan-out, store)."""
+        self._results[key] = result
 
     def __len__(self) -> int:
         return len(self._results)
@@ -75,4 +91,23 @@ def run_app(
 
 
 def default_cache() -> ResultCache:
+    """The process-wide cache used when callers pass ``cache=None``."""
     return _default_cache
+
+
+def set_default_cache(cache: ResultCache) -> ResultCache:
+    """Replace the process-wide cache; returns the previous one.
+
+    Long-lived processes (and test suites sharing a process) can swap in
+    a fresh cache instead of letting the module-level one grow without
+    bound or leak results across unrelated runs.
+    """
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def clear_default_cache() -> None:
+    """Drop every memoized result from the process-wide cache."""
+    _default_cache.clear()

@@ -14,7 +14,7 @@ The paper omits fft (no capacity misses, almost no replacements).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import (
     EXPERIMENT_APPS,
@@ -22,7 +22,8 @@ from repro.experiments.config import (
     rnuma_config,
     scoma_config,
 )
-from repro.experiments.runner import ResultCache, run_app
+from repro.experiments.executor import Executor, Job, ensure_executor
+from repro.experiments.runner import ResultCache
 from repro.experiments.reporting import render_table
 
 OMITTED = ("fft",)
@@ -40,17 +41,29 @@ class Table4Result:
     rows: Dict[str, Table4Row] = field(default_factory=dict)
 
 
+def table4_jobs(
+    scale: float = 1.0, apps: Optional[Sequence[str]] = None
+) -> List[Job]:
+    """Every simulation Table 4 needs, enumerated up front."""
+    apps = [a for a in (apps or EXPERIMENT_APPS) if a not in OMITTED]
+    configs = (cc_config(), scoma_config(), rnuma_config())
+    return [Job(app, cfg, scale) for app in apps for cfg in configs]
+
+
 def compute_table4(
     scale: float = 1.0,
     apps: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
+    executor: Optional[Executor] = None,
 ) -> Table4Result:
     apps = [a for a in (apps or EXPERIMENT_APPS) if a not in OMITTED]
+    exe = ensure_executor(executor, cache)
+    exe.run(table4_jobs(scale, apps))
     out = Table4Result()
     for app in apps:
-        cc = run_app(app, cc_config(), scale=scale, cache=cache)
-        sc = run_app(app, scoma_config(), scale=scale, cache=cache)
-        rn = run_app(app, rnuma_config(), scale=scale, cache=cache)
+        cc = exe.run_app(app, cc_config(), scale=scale)
+        sc = exe.run_app(app, scoma_config(), scale=scale)
+        rn = exe.run_app(app, rnuma_config(), scale=scale)
 
         by_page = cc.refetches_by_page()
         total = sum(by_page.values())

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
-from repro.common.params import SystemConfig
-from repro.common.stats import StatsRegistry
+from repro.common.params import SystemConfig, config_from_dict, config_to_dict
+from repro.common.stats import NodeStats, StatsRegistry
 
 
 @dataclass
@@ -57,3 +57,47 @@ class SimulationResult:
             "block_cache_hits": self.total("block_cache_hits"),
             "page_cache_hits": self.total("page_cache_hits"),
         }
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON-safe plain-dict form of this result.
+
+        Every counter round-trips exactly (all payload values are ints),
+        so a result loaded back with :meth:`from_json_dict` reproduces
+        byte-identical figures and tables.  Dict keys become strings in
+        JSON; ``from_json_dict`` restores them to ints.
+        """
+        return {
+            "config": config_to_dict(self.config),
+            "exec_cycles": self.exec_cycles,
+            "cpu_finish_times": list(self.cpu_finish_times),
+            "stats": {
+                "nodes": [n.as_dict() for n in self.stats.nodes],
+                "barriers_crossed": self.stats.barriers_crossed,
+            },
+            "refetch_counts": {
+                str(node): {str(page): count for page, count in per_node.items()}
+                for node, per_node in self.refetch_counts.items()
+            },
+            "rw_shared_pages": sorted(self.rw_shared_pages),
+            "remote_pages_touched": self.remote_pages_touched,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result serialized with :meth:`to_json_dict`."""
+        stats = StatsRegistry(
+            nodes=[NodeStats(**n) for n in data["stats"]["nodes"]],
+            barriers_crossed=data["stats"]["barriers_crossed"],
+        )
+        return cls(
+            config=config_from_dict(data["config"]),
+            exec_cycles=data["exec_cycles"],
+            cpu_finish_times=list(data["cpu_finish_times"]),
+            stats=stats,
+            refetch_counts={
+                int(node): {int(page): count for page, count in per_node.items()}
+                for node, per_node in data["refetch_counts"].items()
+            },
+            rw_shared_pages=frozenset(data["rw_shared_pages"]),
+            remote_pages_touched=data["remote_pages_touched"],
+        )

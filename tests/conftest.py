@@ -21,6 +21,16 @@ from repro.common.addressing import AddressSpace
 from repro.common.params import CacheParams, CostParams, MachineParams, SystemConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    """Keep the persistent result store out of the user's home cache.
+
+    CLI commands default to ``default_store_dir()``; without this, test
+    runs would populate (and read back!) ~/.cache/repro-rnuma.
+    """
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "result-store"))
+
+
 TINY_SPACE = AddressSpace(block_size=64, page_size=512)
 TINY_MACHINE = MachineParams(nodes=2, cpus_per_node=1)
 TINY_CACHES = CacheParams(l1_size=128, block_cache_size=128, page_cache_size=1024)

@@ -69,6 +69,39 @@ def test_ablation_placement(capsys):
     assert "Ablation" in out
 
 
+def test_figure_with_jobs_and_store(capsys, tmp_path):
+    out = run_cli(
+        capsys, "figure", "6", "--scale", "0.1", "--apps", "em3d",
+        "--jobs", "2", "--store", str(tmp_path),
+    )
+    assert "Figure 6" in out
+    assert list(tmp_path.glob("*.json")), "store must be populated"
+
+
+def test_reproduce_full_sweep_and_store_reuse(capsys, tmp_path):
+    argv = (
+        "reproduce", "--jobs", "2", "--scale", "0.1", "--apps", "em3d",
+        "--store", str(tmp_path),
+    )
+    first = run_cli(capsys, *argv)
+    for heading in ("Table 1", "Table 4", "Figure 5", "Figure 9", "Ablation",
+                    "Extension"):
+        assert heading in first
+    stored = len(list(tmp_path.glob("*.json")))
+    assert stored > 0
+    # Second invocation reuses the store and emits byte-identical output.
+    second = run_cli(capsys, *argv)
+    assert second == first
+    assert len(list(tmp_path.glob("*.json"))) == stored
+
+
+def test_reproduce_no_store(capsys):
+    out = run_cli(
+        capsys, "reproduce", "--scale", "0.1", "--apps", "em3d", "--no-store"
+    )
+    assert "Figure 6" in out
+
+
 def test_unknown_app_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "linpack"])
@@ -77,3 +110,15 @@ def test_unknown_app_rejected():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
+
+
+def test_nonpositive_jobs_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["reproduce", "--jobs", "0"])
+
+
+def test_store_path_collision_rejected(tmp_path):
+    not_a_dir = tmp_path / "occupied"
+    not_a_dir.write_text("")
+    with pytest.raises(SystemExit, match="cannot use result store"):
+        main(["table", "4", "--scale", "0.1", "--store", str(not_a_dir)])

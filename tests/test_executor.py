@@ -1,0 +1,210 @@
+"""Tests for the parallel executor and the persistent result store.
+
+Small scales keep these fast; the point is plumbing (serialization
+round-trips, store invalidation, dedup, parallel == serial), not the
+paper's shapes.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.config import cc_config, ideal, rnuma_config, scoma_config
+from repro.experiments.executor import (
+    STORE_SCHEMA_VERSION,
+    Executor,
+    Job,
+    ResultStore,
+    _simulate_job,
+    ensure_executor,
+)
+from repro.experiments.runner import (
+    ResultCache,
+    clear_default_cache,
+    default_cache,
+    run_app,
+    run_key,
+    set_default_cache,
+)
+from repro.sim.results import SimulationResult
+
+SCALE = 0.1
+APP = "em3d"
+
+
+@pytest.fixture(scope="module")
+def fresh_result():
+    return _simulate_job(Job(APP, cc_config(), SCALE))
+
+
+def assert_results_equal(a: SimulationResult, b: SimulationResult) -> None:
+    assert a.exec_cycles == b.exec_cycles
+    assert a.cpu_finish_times == b.cpu_finish_times
+    assert a.summary() == b.summary()
+    assert a.refetches_by_page() == b.refetches_by_page()
+    assert a.rw_shared_pages == b.rw_shared_pages
+    assert a.remote_pages_touched == b.remote_pages_touched
+    assert a.config == b.config
+    assert a.stats.as_dict() == b.stats.as_dict()
+
+
+class TestSerialization:
+    def test_json_round_trip_is_lossless(self, fresh_result):
+        payload = json.loads(json.dumps(fresh_result.to_json_dict()))
+        back = SimulationResult.from_json_dict(payload)
+        assert_results_equal(fresh_result, back)
+
+    def test_round_trip_preserves_run_key(self, fresh_result):
+        back = SimulationResult.from_json_dict(fresh_result.to_json_dict())
+        assert run_key(APP, back.config, SCALE) == run_key(
+            APP, fresh_result.config, SCALE
+        )
+
+
+class TestResultStore:
+    def test_round_trip_equals_fresh_simulation(self, tmp_path, fresh_result):
+        store = ResultStore(tmp_path)
+        job = Job(APP, cc_config(), SCALE)
+        store.save(job, fresh_result)
+        assert len(store) == 1
+        loaded = store.load(job)
+        assert loaded is not None
+        assert_results_equal(fresh_result, loaded)
+
+    def test_missing_entry_loads_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load(Job(APP, cc_config(), SCALE)) is None
+
+    def test_schema_version_bump_invalidates(self, tmp_path, fresh_result):
+        job = Job(APP, cc_config(), SCALE)
+        ResultStore(tmp_path, schema_version=STORE_SCHEMA_VERSION).save(
+            job, fresh_result
+        )
+        bumped = ResultStore(tmp_path, schema_version=STORE_SCHEMA_VERSION + 1)
+        assert bumped.load(job) is None
+
+    def test_corrupt_entry_loads_none(self, tmp_path, fresh_result):
+        store = ResultStore(tmp_path)
+        job = Job(APP, cc_config(), SCALE)
+        store.save(job, fresh_result)
+        store.path_for(job).write_text("{not json")
+        assert store.load(job) is None
+
+    def test_tampered_config_loads_none(self, tmp_path, fresh_result):
+        store = ResultStore(tmp_path)
+        job = Job(APP, cc_config(), SCALE)
+        store.save(job, fresh_result)
+        path = store.path_for(job)
+        payload = json.loads(path.read_text())
+        payload["result"]["config"]["machine"]["nodes"] = -1
+        path.write_text(json.dumps(payload))
+        assert store.load(job) is None
+
+    def test_clear_empties_store(self, tmp_path, fresh_result):
+        store = ResultStore(tmp_path)
+        store.save(Job(APP, cc_config(), SCALE), fresh_result)
+        store.clear()
+        assert len(store) == 0
+
+    def test_distinct_jobs_get_distinct_paths(self, tmp_path):
+        store = ResultStore(tmp_path)
+        paths = {
+            store.path_for(Job(APP, cc_config(), SCALE)),
+            store.path_for(Job(APP, scoma_config(), SCALE)),
+            store.path_for(Job("moldyn", cc_config(), SCALE)),
+            store.path_for(Job(APP, cc_config(), SCALE / 2)),
+        }
+        assert len(paths) == 4
+
+
+class TestExecutor:
+    def test_parallel_matches_serial_for_all_protocols(self):
+        jobs = [
+            Job(APP, cfg, SCALE)
+            for cfg in (ideal(), cc_config(), scoma_config(), rnuma_config())
+        ]
+        serial = Executor(workers=1, cache=ResultCache()).run(jobs)
+        parallel = Executor(workers=2, cache=ResultCache()).run(jobs)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert_results_equal(s, p)
+
+    def test_duplicate_jobs_simulated_once(self):
+        exe = Executor(workers=1, cache=ResultCache())
+        job = Job(APP, cc_config(), SCALE)
+        results = exe.run([job, job, job])
+        assert len(results) == 3
+        assert results[0] is results[1] is results[2]
+        assert len(exe.cache) == 1
+
+    def test_results_in_input_order(self):
+        cc, sc = Job(APP, cc_config(), SCALE), Job(APP, scoma_config(), SCALE)
+        exe = Executor(workers=1, cache=ResultCache())
+        first = exe.run([cc, sc])
+        second = exe.run([sc, cc])
+        assert first[0] is second[1] and first[1] is second[0]
+
+    def test_warm_store_avoids_simulation(self, tmp_path, monkeypatch):
+        job = Job(APP, cc_config(), SCALE)
+        Executor(workers=1, cache=ResultCache(), store=ResultStore(tmp_path)).run(
+            [job]
+        )
+
+        def boom(_job):
+            raise AssertionError("simulated despite warm store")
+
+        monkeypatch.setattr("repro.experiments.executor._simulate_job", boom)
+        cold_cache = Executor(
+            workers=1, cache=ResultCache(), store=ResultStore(tmp_path)
+        )
+        result = cold_cache.run([job])[0]
+        assert result.exec_cycles > 0
+        assert cold_cache.run_app(APP, cc_config(), SCALE) is result
+
+    def test_run_app_populates_cache_and_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        exe = Executor(workers=1, cache=ResultCache(), store=store)
+        result = exe.run_app(APP, cc_config(), SCALE)
+        assert len(store) == 1
+        assert exe.run_app(APP, cc_config(), SCALE) is result
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            Executor(workers=0)
+
+
+class TestEnsureExecutor:
+    def test_passthrough(self):
+        exe = Executor(workers=2)
+        assert ensure_executor(exe) is exe
+
+    def test_wraps_explicit_cache(self):
+        cache = ResultCache()
+        exe = ensure_executor(None, cache)
+        assert exe.cache is cache and exe.workers == 1 and exe.store is None
+
+    def test_defaults_to_process_cache(self):
+        assert ensure_executor().cache is default_cache()
+
+
+class TestDefaultCacheManagement:
+    def test_set_default_cache_swaps_and_returns_previous(self):
+        replacement = ResultCache()
+        previous = set_default_cache(replacement)
+        try:
+            assert default_cache() is replacement
+            run_app(APP, ideal(), scale=SCALE)
+            assert len(replacement) == 1
+        finally:
+            assert set_default_cache(previous) is replacement
+        assert default_cache() is previous
+
+    def test_clear_default_cache(self):
+        previous = set_default_cache(ResultCache())
+        try:
+            run_app(APP, ideal(), scale=SCALE)
+            assert len(default_cache()) == 1
+            clear_default_cache()
+            assert len(default_cache()) == 0
+        finally:
+            set_default_cache(previous)
