@@ -1,0 +1,175 @@
+"""Trace-pipeline benchmarks: workload generation and compile
+throughput, and the memory/wall-time win of the columnar representation
+over the legacy object-list path.
+
+The object-list baseline reproduces the pre-columnar pipeline exactly:
+a builder that allocates one frozen ``Access``/``Barrier`` dataclass
+per reference, plus the per-run objects->tuples compile pass the engine
+used to perform.  ``bench_trace_pipeline_vs_objects`` asserts the
+headline acceptance number: >= 2x reduction in trace-build wall time
+*or* peak memory for a figure-5-sized app.
+
+Run standalone at a small scale with ``python -m benchmarks.smoke``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import tracemalloc
+
+from repro.common.addressing import AddressSpace
+from repro.common.params import MachineParams
+from repro.common.records import Access, Barrier, compile_trace
+from repro.workloads.registry import APPLICATIONS, build_program
+
+SPACE = AddressSpace()
+MACHINE = MachineParams()          # the paper's 8x4 machine
+
+#: a figure-5-sized workload: a Table 3 app at the paper scale.
+APP = "moldyn"
+SCALE = 1.0
+
+
+class _ObjectTraceBuilder:
+    """The legacy builder: one dataclass allocation per reference."""
+
+    def __init__(self, machine: MachineParams) -> None:
+        self.machine = machine
+        self.traces = [[] for _ in range(machine.total_cpus)]
+        self._next_barrier = 0
+
+    def read(self, cpu, addr, think=2):
+        self.traces[cpu].append(Access(addr, False, think))
+
+    def write(self, cpu, addr, think=2):
+        self.traces[cpu].append(Access(addr, True, think))
+
+    def barrier(self):
+        ident = self._next_barrier
+        self._next_barrier += 1
+        for trace in self.traces:
+            trace.append(Barrier(ident))
+        return ident
+
+    def first_touch(self, cpu, addrs):
+        trace = self.traces[cpu]
+        for addr in addrs:
+            trace.append(Access(addr, True, 0))
+
+    def build(self, name, **metadata):
+        return self
+
+
+def _build_object_traces(app: str, scale: float):
+    """Run an application kernel against the legacy object builder."""
+    builder, _, _ = APPLICATIONS[app]
+    module = __import__(builder.__module__, fromlist=["TraceBuilder"])
+    original = module.TraceBuilder
+    module.TraceBuilder = _ObjectTraceBuilder
+    try:
+        return builder(MACHINE, SPACE, scale=scale).traces
+    finally:
+        module.TraceBuilder = original
+
+
+def _measure(fn):
+    """(wall seconds, peak tracemalloc bytes, result) of one call."""
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return elapsed, peak, result
+
+
+def run_pipeline_comparison(app: str = APP, scale: float = SCALE) -> dict:
+    """Columnar generation vs the object-list path, one round each.
+
+    Returns the raw numbers so both the benchmark and the CI smoke run
+    can assert on them.
+    """
+    col_time, col_peak, program = _measure(
+        lambda: build_program(app, machine=MACHINE, space=SPACE,
+                              scale=scale, use_cache=False)
+    )
+    obj_time, obj_peak, traces = _measure(
+        lambda: _build_object_traces(app, scale)
+    )
+    # The engine's old per-run compile pass rode on top of the object
+    # path; charge it there (the columnar path needs no such pass).
+    compile_time, _, _ = _measure(
+        lambda: [compile_trace(t) for t in traces]
+    )
+    return {
+        "app": app,
+        "scale": scale,
+        "accesses": program.total_accesses,
+        "columnar_build_s": col_time,
+        "columnar_peak_bytes": col_peak,
+        "columnar_buffer_bytes": program.nbytes,
+        "object_build_s": obj_time + compile_time,
+        "object_peak_bytes": obj_peak,
+    }
+
+
+def assert_pipeline_win(numbers: dict) -> None:
+    time_ratio = numbers["object_build_s"] / max(numbers["columnar_build_s"], 1e-9)
+    mem_ratio = numbers["object_peak_bytes"] / max(numbers["columnar_peak_bytes"], 1)
+    assert time_ratio >= 2.0 or mem_ratio >= 2.0, (
+        f"columnar pipeline must halve build time or peak memory: "
+        f"time {time_ratio:.2f}x, memory {mem_ratio:.2f}x"
+    )
+
+
+def bench_trace_generation_columnar(benchmark):
+    """Generation throughput straight into packed columns."""
+    program = benchmark(
+        lambda: build_program(APP, machine=MACHINE, space=SPACE,
+                              scale=SCALE, use_cache=False)
+    )
+    assert program.total_accesses > 0
+    print(f"\n{APP}: {program.total_accesses:,} refs, "
+          f"{program.nbytes / 1024:.0f} KiB columnar")
+
+
+def bench_trace_generation_object_baseline(benchmark):
+    """The legacy path: dataclass traces plus the engine compile pass."""
+    def body():
+        traces = _build_object_traces(APP, SCALE)
+        return [compile_trace(t) for t in traces]
+
+    columns = benchmark(body)
+    assert sum(len(c) for c in columns) > 0
+
+
+def bench_trace_pipeline_vs_objects(benchmark):
+    """Headline comparison: asserts the >= 2x time-or-memory win."""
+    numbers = benchmark.pedantic(run_pipeline_comparison, rounds=1, iterations=1)
+    print(
+        f"\n{numbers['app']} x{numbers['scale']}: "
+        f"{numbers['accesses']:,} refs | build "
+        f"{numbers['columnar_build_s']:.2f}s vs "
+        f"{numbers['object_build_s']:.2f}s | peak "
+        f"{numbers['columnar_peak_bytes'] / 2**20:.1f} MiB vs "
+        f"{numbers['object_peak_bytes'] / 2**20:.1f} MiB"
+    )
+    assert_pipeline_win(numbers)
+
+
+def bench_compile_objects_to_columns(benchmark):
+    """Throughput of packing legacy object traces into columns."""
+    traces = _build_object_traces(APP, min(SCALE, 0.5))
+    columns = benchmark(lambda: [compile_trace(t) for t in traces])
+    assert sum(len(c) for c in columns) == sum(len(t) for t in traces)
+
+
+def bench_executor_payload_pickle(benchmark):
+    """Fan-out shipping cost: pickling packed columns is tiny compared
+    to pickling the equivalent object traces."""
+    program = build_program(APP, machine=MACHINE, space=SPACE, scale=SCALE)
+    packed = benchmark(lambda: pickle.dumps(program.columns, protocol=4))
+    objects = pickle.dumps([list(t) for t in program.traces], protocol=4)
+    print(f"\npayload: {len(packed):,} B columnar vs {len(objects):,} B objects")
+    assert len(packed) * 2 <= len(objects)

@@ -1,0 +1,57 @@
+"""CI benchmark smoke: import every benchmark module and run the trace
+pipeline's smallest cases.
+
+The full suite needs pytest-benchmark and minutes of wall time; CI only
+needs to know the benchmarks still *work*.  This runner imports each
+``bench_*`` module (catching bitrot against the library API) and then
+executes the trace-pipeline comparison at a tiny scale, asserting the
+same >= 2x build-time-or-memory win the full benchmark asserts.
+
+Run:  PYTHONPATH=src python -m benchmarks.smoke
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+
+
+def main() -> int:
+    bench_dir = pathlib.Path(__file__).parent
+    modules = sorted(p.stem for p in bench_dir.glob("bench_*.py"))
+    for name in modules:
+        importlib.import_module(f"benchmarks.{name}")
+        print(f"import ok  benchmarks.{name}")
+
+    from benchmarks.bench_traces import (
+        assert_pipeline_win,
+        run_pipeline_comparison,
+    )
+
+    numbers = run_pipeline_comparison(scale=0.1)
+    assert_pipeline_win(numbers)
+    print(
+        f"trace pipeline ok  {numbers['app']} x{numbers['scale']}: "
+        f"{numbers['accesses']:,} refs, "
+        f"build {numbers['columnar_build_s']:.3f}s vs "
+        f"{numbers['object_build_s']:.3f}s (object path), peak "
+        f"{numbers['columnar_peak_bytes'] / 2**20:.2f} MiB vs "
+        f"{numbers['object_peak_bytes'] / 2**20:.2f} MiB"
+    )
+
+    # The engine consumes the compiled program natively: run the
+    # smallest end-to-end simulation to catch wiring regressions.
+    from repro.common.params import base_rnuma_config
+    from repro.sim.engine import simulate
+    from repro.workloads.registry import build_program
+
+    program = build_program("em3d", scale=0.05)
+    result = simulate(base_rnuma_config(), program)
+    assert result.exec_cycles > 0
+    print(f"engine ok  em3d x0.05: {result.exec_cycles:,} cycles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

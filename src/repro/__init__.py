@@ -29,7 +29,7 @@ from repro.common.params import (
     base_scoma_config,
     ideal_config,
 )
-from repro.common.records import Access, Barrier
+from repro.common.records import Access, Barrier, TraceView
 from repro.model.competitive import (
     CompetitiveModel,
     ModelParameters,
@@ -39,6 +39,7 @@ from repro.model.competitive import (
 from repro.sim.engine import SimulationEngine, simulate
 from repro.sim.results import SimulationResult
 from repro.workloads.base import Program, TraceBuilder
+from repro.workloads.compile import CompiledProgram
 from repro.workloads.registry import APPLICATIONS, build_program, workload_names
 
 __version__ = "1.0.0"
@@ -50,6 +51,7 @@ __all__ = [
     "Barrier",
     "CacheParams",
     "CompetitiveModel",
+    "CompiledProgram",
     "CostParams",
     "MachineParams",
     "ModelParameters",
@@ -58,6 +60,7 @@ __all__ = [
     "SimulationResult",
     "SystemConfig",
     "TraceBuilder",
+    "TraceView",
     "base_ccnuma_config",
     "base_rnuma_config",
     "base_scoma_config",

@@ -6,6 +6,9 @@ Commands
     Show the workload suite (Table 3).
 ``run APP``
     Simulate one application under one or all protocols.
+``trace-stats APP``
+    Inspect an application's compiled trace: per-CPU reference counts,
+    barriers, pages touched, and the packed-buffer footprint.
 ``figure {5,6,7,8,9}``
     Regenerate a paper figure.
 ``table {1,2,3,4}``
@@ -26,6 +29,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.common.addressing import AddressSpace
 from repro.common.params import (
     base_ccnuma_config,
     base_rnuma_config,
@@ -154,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=int, default=64, help="R-NUMA relocation threshold"
     )
 
+    ts_p = sub.add_parser(
+        "trace-stats", help="inspect an application's compiled trace"
+    )
+    ts_p.add_argument("app", choices=workload_names())
+    ts_p.add_argument("--scale", type=float, default=1.0)
+
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("number", choices=sorted(_FIGURES))
     fig_p.add_argument("--scale", type=float, default=1.0)
@@ -201,13 +211,32 @@ def _cmd_run(args: argparse.Namespace) -> None:
             config = base_rnuma_config(threshold=args.threshold)
         else:
             config = _PROTOCOL_CONFIGS[name]()
-        result = simulate(config, program.traces)
+        result = simulate(config, program)
         if baseline is None:
             baseline = result
         print(f"{name:<8} {result.exec_cycles:>12,} cycles "
               f"({result.normalized_to(baseline):.2f}x)  "
               f"refetches={result.total('refetches'):,} "
               f"relocations={result.total('relocations'):,}")
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> None:
+    """Per-CPU reference counts and the compiled-trace footprint."""
+    space = AddressSpace()
+    program = build_program(args.app, scale=args.scale)
+    pages = program.pages_touched(space)
+    print(f"{args.app}: {program.scaled_input or program.description}")
+    print(f"  cpus            {program.cpu_count}")
+    print(f"  accesses        {program.total_accesses:,}")
+    print(f"  barriers        {program.barrier_count:,}")
+    print(f"  pages touched   {len(pages):,}")
+    print(f"  compiled size   {program.nbytes:,} bytes "
+          f"(8 bytes/item, columnar)")
+    print()
+    print(f"  {'cpu':>4} {'references':>12} {'share':>7}")
+    total = program.total_accesses or 1
+    for cpu, count in enumerate(program.access_counts):
+        print(f"  {cpu:>4} {count:>12,} {count / total * 100:>6.1f}%")
 
 
 def _cmd_figure(args: argparse.Namespace) -> None:
@@ -285,6 +314,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_list()
     elif args.command == "run":
         _cmd_run(args)
+    elif args.command == "trace-stats":
+        _cmd_trace_stats(args)
     elif args.command == "figure":
         _cmd_figure(args)
     elif args.command == "table":

@@ -154,8 +154,8 @@ def compute_placement_ablation(
         first_touch = exe.run_app(app, cc_config(), scale=scale)
         cfg = cc_config()
         program = build_program(app, machine=cfg.machine, space=cfg.space, scale=scale)
-        homes = round_robin_homes(program.traces, cfg.machine, cfg.space)
-        round_robin = simulate(cfg, program.traces, dict(homes))
+        homes = round_robin_homes(program, cfg.machine, cfg.space)
+        round_robin = simulate(cfg, program, dict(homes))
         out.normalized[app] = {
             "CC first-touch": first_touch.normalized_to(base),
             "CC round-robin": round_robin.normalized_to(base),

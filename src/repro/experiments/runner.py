@@ -56,7 +56,10 @@ class ResultCache:
             program = build_program(
                 app, machine=config.machine, space=config.space, scale=scale
             )
-            result = simulate(config, program.traces)
+            # Hand the compiled program straight to the engine: its
+            # columns run without a conversion pass and its memoized
+            # first-touch map is shared across protocols.
+            result = simulate(config, program)
             self._results[key] = result
         return result
 

@@ -5,6 +5,12 @@ parallel phase, the first node to request a page becomes its home
 (Section 2.1, citing Marchetti et al.).  For a trace-driven simulator
 that is equivalent to a pre-pass over the merged trace assigning each
 page's home to the node of the first processor that touches it.
+
+Both placement passes accept any trace representation the engine does
+— packed columns, TraceViews, a compiled program, or legacy
+Access/Barrier sequences — and work directly on the packed words, so
+a placement pass over a compiled program allocates no per-item
+objects.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from typing import Dict, List, Sequence
 
 from repro.common.addressing import AddressSpace
 from repro.common.params import MachineParams
-from repro.common.records import Access
+from repro.common.records import ADDR_SHIFT, as_columns
 
 
 def round_robin_homes(
@@ -28,13 +34,16 @@ def round_robin_homes(
     ``p % nodes`` regardless of who uses it.  Used by the placement
     ablation benchmark.
     """
+    columns, _ = as_columns(traces)
+    page_unpack = ADDR_SHIFT + space.page_shift
+    nodes = machine.nodes
     homes: Dict[int, int] = {}
-    for trace in traces:
-        for item in trace:
-            if isinstance(item, Access):
-                page = space.page_of(item.addr)
+    for column in columns:
+        for word in column:
+            if word >= 0:
+                page = word >> page_unpack
                 if page not in homes:
-                    homes[page] = page % machine.nodes
+                    homes[page] = page % nodes
     return homes
 
 
@@ -53,21 +62,23 @@ def first_touch_homes(
 
     Returns a page -> home-node dict.
     """
+    columns, _ = as_columns(traces)
+    page_unpack = ADDR_SHIFT + space.page_shift
     homes: Dict[int, int] = {}
-    cursors: List[int] = [0] * len(traces)
-    remaining = sum(len(t) for t in traces)
+    cursors: List[int] = [0] * len(columns)
+    remaining = sum(len(c) for c in columns)
     while remaining:
         progressed = False
-        for cpu, trace in enumerate(traces):
+        for cpu, column in enumerate(columns):
             i = cursors[cpu]
-            if i >= len(trace):
+            if i >= len(column):
                 continue
-            item = trace[i]
+            word = column[i]
             cursors[cpu] = i + 1
             remaining -= 1
             progressed = True
-            if isinstance(item, Access):
-                page = space.page_of(item.addr)
+            if word >= 0:
+                page = word >> page_unpack
                 if page not in homes:
                     homes[page] = machine.node_of_cpu(cpu)
         if not progressed:

@@ -13,6 +13,13 @@ Drives one trace per processor through the machine model:
   protocol controllers;
 - global barriers.
 
+Traces are consumed in their packed columnar form (one ``array('q')``
+of 64-bit words per CPU, see :mod:`repro.common.records`): the hot
+loop classifies an item by its sign bit and unpacks the address/think/
+write fields with shifts, so a compiled program runs with no per-run
+conversion pass.  Legacy Access/Barrier object sequences are packed
+(and barrier-validated) once at engine construction.
+
 Timing constants come from :class:`repro.common.params.CostParams`
 (the paper's Table 2).
 """
@@ -32,7 +39,12 @@ from repro.coherence.states import (
 )
 from repro.common.errors import TraceError
 from repro.common.params import SystemConfig
-from repro.common.records import Access, Barrier
+from repro.common.records import (
+    ADDR_SHIFT,
+    THINK_MASK,
+    as_columns,
+    validate_barrier_sequences,
+)
 from repro.machine.machine import Machine
 from repro.machine.node import Node
 from repro.osint.placement import first_touch_homes
@@ -40,41 +52,15 @@ from repro.protocols import make_policy
 from repro.sim.results import SimulationResult
 from repro.vm.page_table import MAP_CC, MAP_LOCAL, MAP_SCOMA, MAP_UNMAPPED
 
-# Compact trace item encodings used internally (tuples are ~2x faster to
-# destructure than dataclass attribute access in the hot loop).
-_KIND_ACCESS = 0
-_KIND_BARRIER = 1
-
-
-def _compile_traces(traces: Sequence[Sequence[object]]):
-    """Convert Access/Barrier records into tuple lists and validate
-    that every processor passes the same barrier sequence."""
-    compiled = []
-    barrier_seqs = []
-    for trace in traces:
-        items = []
-        barriers = []
-        for item in trace:
-            if isinstance(item, Access):
-                items.append((_KIND_ACCESS, item.addr, item.is_write, item.think))
-            elif isinstance(item, Barrier):
-                items.append((_KIND_BARRIER, item.ident, False, 0))
-                barriers.append(item.ident)
-            else:
-                raise TraceError(f"unknown trace item: {item!r}")
-        compiled.append(items)
-        barrier_seqs.append(barriers)
-    first = barrier_seqs[0] if barrier_seqs else []
-    for cpu, seq in enumerate(barrier_seqs):
-        if seq != first:
-            raise TraceError(
-                f"cpu {cpu} barrier sequence {seq[:8]}... does not match cpu 0"
-            )
-    return compiled
-
 
 class SimulationEngine:
-    """One simulation run: a machine, a policy, and a set of traces."""
+    """One simulation run: a machine, a policy, and a set of traces.
+
+    ``traces`` may be a :class:`~repro.workloads.compile.CompiledProgram`
+    (its columns are consumed directly and its memoized first-touch map
+    is reused), a sequence of packed columns/TraceViews, or legacy
+    per-CPU Access/Barrier sequences.
+    """
 
     def __init__(
         self,
@@ -82,17 +68,29 @@ class SimulationEngine:
         traces: Sequence[Sequence[object]],
         homes: Optional[Dict[int, int]] = None,
     ) -> None:
-        if len(traces) != config.machine.total_cpus:
-            raise TraceError(
-                f"expected {config.machine.total_cpus} traces, got {len(traces)}"
-            )
         self.config = config
         self.machine = Machine(config)
         self.policy = make_policy(config.protocol)
-        self._traces = _compile_traces(traces)
+        self._columns, _ = as_columns(traces)
+        if len(self._columns) != config.machine.total_cpus:
+            raise TraceError(
+                f"expected {config.machine.total_cpus} traces, "
+                f"got {len(self._columns)}"
+            )
+        if getattr(traces, "barrier_ids", None) is None:
+            # Compiled programs were barrier-validated at construction;
+            # everything else (object traces, raw columns, views) is
+            # checked here so a mismatch fails fast, not as a deadlock.
+            validate_barrier_sequences(self._columns)
         space = config.space
         if homes is None:
-            homes = first_touch_homes(traces, config.machine, space)
+            cached = getattr(traces, "first_touch_homes", None)
+            if cached is not None:
+                # Compiled programs memoize placement across protocols;
+                # copy because the engine adds late first-touches.
+                homes = dict(cached(config.machine, space))
+            else:
+                homes = first_touch_homes(self._columns, config.machine, space)
         self.homes = homes
 
         # Pre-map every page at its home node.
@@ -122,8 +120,10 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         costs = self.config.costs
         barrier_cost = costs.barrier_cost
-        block_shift = self._block_shift
-        traces = self._traces
+        # One shift turns a packed word into its block number.
+        block_unpack = ADDR_SHIFT + self._block_shift
+        think_mask = THINK_MASK
+        traces = self._columns
         n_cpus = len(traces)
         l1s = self._l1_of_cpu
         nodes = [self.machine.nodes[self._node_of_cpu[c]] for c in range(n_cpus)]
@@ -133,7 +133,6 @@ class SimulationEngine:
         heap = [(0, c) for c in range(n_cpus)]
         heapq.heapify(heap)
         barrier_arrivals: Dict[int, List] = {}
-        running = n_cpus
         # cpus currently parked at a barrier are not in the heap
 
         miss = self._miss  # bind
@@ -144,14 +143,16 @@ class SimulationEngine:
             i = ptr[cpu]
             if i >= len(items):
                 finish[cpu] = t
-                running -= 1
                 continue
-            kind, a, w, think = items[i]
+            word = items[i]
             ptr[cpu] = i + 1
-            if kind == _KIND_ACCESS:
+            if word >= 0:
+                # Access: addr/think/write unpacked straight from the word.
+                think = (word >> 1) & think_mask
+                w = word & 1
                 now = t + think
                 l1 = l1s[cpu]
-                b = a >> block_shift
+                b = word >> block_unpack
                 idx = b & l1.mask
                 st = l1.state_at[idx] if l1.block_at.get(idx) == b else 0
                 node = nodes[cpu]
@@ -170,14 +171,15 @@ class SimulationEngine:
                     heapq.heappush(heap, (now + 1 + latency, cpu))
             else:
                 # Barrier: park this cpu until everyone arrives.
-                arrivals = barrier_arrivals.setdefault(a, [])
+                ident = -1 - word
+                arrivals = barrier_arrivals.setdefault(ident, [])
                 arrivals.append((t, cpu))
                 if len(arrivals) == n_cpus:
                     release = max(at for at, _ in arrivals) + barrier_cost
                     for at, c2 in arrivals:
                         nodes[c2].stats.barrier_wait_cycles += release - at
                         heapq.heappush(heap, (release, c2))
-                    del barrier_arrivals[a]
+                    del barrier_arrivals[ident]
                     self.machine.stats.barriers_crossed += 1
 
         if barrier_arrivals:
@@ -249,7 +251,7 @@ class SimulationEngine:
                 sup_l1.set_state(b, SHARED)
             node.stats.cache_to_cache += 1
             node.stats.local_fills += 1
-            self._l1_insert(node, l1, b, SHARED)
+            self._l1_insert(node, l1, b, SHARED, now)
             return costs.local_fill
 
         if mapping == MAP_LOCAL:
@@ -268,7 +270,7 @@ class SimulationEngine:
                 lat += costs.local_fill
                 node.stats.local_fills += 1
             state = EXCLUSIVE if self._sole_copy(node, b, slot, g) else SHARED
-            self._l1_insert(node, l1, b, state)
+            self._l1_insert(node, l1, b, state, now)
             return lat
 
         if mapping == MAP_CC:
@@ -277,7 +279,7 @@ class SimulationEngine:
                 node.stats.block_cache_hits += 1
                 node.stats.local_fills += 1
                 state = EXCLUSIVE if line.writable and self._no_local_copies(node, b, slot) else SHARED
-                self._l1_insert(node, l1, b, state)
+                self._l1_insert(node, l1, b, state, now)
                 return costs.local_fill
             node.stats.block_cache_misses += 1
             lat = self._remote_fetch(node, b, g, False, now)
@@ -286,7 +288,7 @@ class SimulationEngine:
                 self._scoma_install(node, b, g, writable=False)
             else:
                 self._block_cache_install(node, b, g, writable=False, now=now)
-            self._l1_insert(node, l1, b, SHARED)
+            self._l1_insert(node, l1, b, SHARED, now)
             return lat
 
         # MAP_SCOMA
@@ -298,13 +300,13 @@ class SimulationEngine:
             if node.page_cache.reorders_on_hit:
                 node.page_cache.touch_hit(g)
             state = EXCLUSIVE if tag == BLOCK_WRITABLE and self._no_local_copies(node, b, slot) else SHARED
-            self._l1_insert(node, l1, b, state)
+            self._l1_insert(node, l1, b, state, now)
             return costs.local_fill
         node.stats.page_cache_misses += 1
         lat = self._remote_fetch(node, b, g, False, now)
         if node.page_table.mapping_of(g) == MAP_SCOMA:
             self._scoma_install(node, b, g, writable=False)
-        self._l1_insert(node, l1, b, SHARED)
+        self._l1_insert(node, l1, b, SHARED, now)
         return lat
 
     # -- write ---------------------------------------------------------
@@ -346,7 +348,7 @@ class SimulationEngine:
                 if supplier is not None:
                     node.stats.cache_to_cache += 1
             self._invalidate_local_copies(node, b, slot)
-            self._l1_insert(node, l1, b, MODIFIED)
+            self._l1_insert(node, l1, b, MODIFIED, now)
             return lat
 
         if mapping == MAP_CC:
@@ -355,7 +357,7 @@ class SimulationEngine:
                 lat = self._serve_owned_write_locally(node, b, st, slot)
                 node.block_cache.mark_dirty(b)
                 self._invalidate_local_copies(node, b, slot)
-                self._l1_insert(node, l1, b, MODIFIED)
+                self._l1_insert(node, l1, b, MODIFIED, now)
                 return lat
             holds_copy = st != INVALID or node.block_cache.lookup(b) is not None
             if not holds_copy:
@@ -367,7 +369,7 @@ class SimulationEngine:
                 self._block_cache_install(node, b, g, writable=True, now=now)
                 node.block_cache.mark_dirty(b)
             self._invalidate_local_copies(node, b, slot)
-            self._l1_insert(node, l1, b, MODIFIED)
+            self._l1_insert(node, l1, b, MODIFIED, now)
             return lat
 
         # MAP_SCOMA
@@ -380,7 +382,7 @@ class SimulationEngine:
                 node.page_cache.touch_hit(g)
             node.tags.mark_dirty(g, off)
             self._invalidate_local_copies(node, b, slot)
-            self._l1_insert(node, l1, b, MODIFIED)
+            self._l1_insert(node, l1, b, MODIFIED, now)
             return lat
         holds_copy = st != INVALID or tag == BLOCK_READONLY
         node.stats.page_cache_misses += 1
@@ -389,7 +391,7 @@ class SimulationEngine:
             self._scoma_install(node, b, g, writable=True)
             node.tags.mark_dirty(g, b & self._bpp_mask)
         self._invalidate_local_copies(node, b, slot)
-        self._l1_insert(node, l1, b, MODIFIED)
+        self._l1_insert(node, l1, b, MODIFIED, now)
         return lat
 
     def _serve_owned_write_locally(self, node: Node, b: int, st: int, slot: int) -> int:
@@ -441,16 +443,16 @@ class SimulationEngine:
             if i != exclude_slot:
                 l1.invalidate(b)
 
-    def _l1_insert(self, node: Node, l1, b: int, state: int) -> None:
+    def _l1_insert(self, node: Node, l1, b: int, state: int, now: int) -> None:
         """Insert into an L1, handling the victim write-back."""
         victim = l1.victim_for(b)
         if victim is not None:
             vb, vstate = victim
             if vstate == MODIFIED or vstate == OWNED:
-                self._l1_writeback(node, vb)
+                self._l1_writeback(node, vb, now)
         l1.insert(b, state)
 
-    def _l1_writeback(self, node: Node, vb: int) -> None:
+    def _l1_writeback(self, node: Node, vb: int, now: int) -> None:
         """A dirty L1 line drains to its node-level backing store."""
         vg = vb >> self._block_page_shift
         vmapping = node.page_table.mapping_of(vg)
@@ -462,7 +464,7 @@ class SimulationEngine:
             else:
                 # No block-cache frame (displaced): write straight home.
                 self.machine.directory.writeback(vb, node.node_id)
-                self.machine.network.one_way_delay(node.node_id, 0)
+                self.machine.network.one_way_delay(node.node_id, now)
                 node.stats.block_cache_writebacks += 1
         elif vmapping == MAP_SCOMA:
             node.tags.mark_dirty(vg, vb & self._bpp_mask)

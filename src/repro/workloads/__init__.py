@@ -11,19 +11,24 @@ imbalance are preserved; absolute instruction counts are not.
 """
 
 from repro.workloads.base import Program, TraceBuilder
+from repro.workloads.compile import CompiledProgram, compile_program
 from repro.workloads.layout import Layout, Region
 from repro.workloads.registry import (
     APPLICATIONS,
+    build_counts,
     build_program,
     workload_names,
 )
 
 __all__ = [
     "APPLICATIONS",
+    "CompiledProgram",
     "Layout",
     "Program",
     "Region",
     "TraceBuilder",
+    "build_counts",
     "build_program",
+    "compile_program",
     "workload_names",
 ]

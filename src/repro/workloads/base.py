@@ -1,41 +1,38 @@
-"""Program/trace-builder infrastructure shared by all workloads."""
+"""Program/trace-builder infrastructure shared by all workloads.
+
+The builder is the hot path of workload generation: every data
+reference an application kernel emits passes through :meth:`read`/
+:meth:`write`.  It therefore packs references straight into the
+columnar ``array('q')`` representation (see
+:mod:`repro.common.records`) instead of allocating one dataclass per
+reference, and maintains the access/barrier counters incrementally so
+:attr:`Program.total_accesses`/:attr:`Program.barrier_count` are O(1).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from array import array
+from typing import List
 
 from repro.common.errors import TraceError
 from repro.common.params import MachineParams
-from repro.common.records import Access, Barrier, Trace
+from repro.common.records import (
+    ADDR_SHIFT,
+    MAX_ADDR,
+    MAX_THINK,
+    TraceView,
+    new_column,
+)
+from repro.workloads.compile import CompiledProgram
 
 
-@dataclass
-class Program:
-    """A complete multiprocessor workload: one trace per CPU."""
+class Program(CompiledProgram):
+    """A complete multiprocessor workload: one packed column per CPU.
 
-    name: str
-    traces: List[Trace]
-    description: str = ""
-    paper_input: str = ""
-    scaled_input: str = ""
-    metadata: Dict[str, object] = field(default_factory=dict)
-
-    @property
-    def cpu_count(self) -> int:
-        return len(self.traces)
-
-    @property
-    def total_accesses(self) -> int:
-        return sum(
-            1 for trace in self.traces for item in trace if isinstance(item, Access)
-        )
-
-    @property
-    def barrier_count(self) -> int:
-        if not self.traces:
-            return 0
-        return sum(1 for item in self.traces[0] if isinstance(item, Barrier))
+    The columnar :class:`~repro.workloads.compile.CompiledProgram` with
+    its legacy object view (``program.traces`` yields Access/Barrier
+    items lazily); kept under its historical name for the builder API.
+    """
 
 
 class TraceBuilder:
@@ -43,34 +40,62 @@ class TraceBuilder:
 
     Workload kernels call :meth:`read`/:meth:`write` as they execute and
     :meth:`barrier` at synchronization points; :meth:`build` returns the
-    finished :class:`Program`.
+    finished :class:`Program`.  References are packed into per-CPU
+    columns as they are emitted.
     """
 
     def __init__(self, machine: MachineParams) -> None:
         self.machine = machine
-        self.traces: List[Trace] = [[] for _ in range(machine.total_cpus)]
+        self._columns: List[array] = [
+            new_column() for _ in range(machine.total_cpus)
+        ]
+        self._access_counts: List[int] = [0] * machine.total_cpus
+        self._barrier_ids: List[int] = []
         self._next_barrier = 0
 
     @property
     def cpu_count(self) -> int:
-        return len(self.traces)
+        return len(self._columns)
 
     @property
     def node_count(self) -> int:
         return self.machine.nodes
 
+    @property
+    def traces(self) -> List[TraceView]:
+        """Live object views of the columns accumulated so far."""
+        return [TraceView(c) for c in self._columns]
+
+    @property
+    def columns(self) -> List[array]:
+        return self._columns
+
     def read(self, cpu: int, addr: int, think: int = 2) -> None:
-        self.traces[cpu].append(Access(addr, False, think))
+        if not (0 <= addr <= MAX_ADDR and 0 <= think <= MAX_THINK):
+            raise TraceError(
+                f"reference ({addr:#x}, think={think}) outside the "
+                f"encodable range (addr <= {MAX_ADDR:#x}, think <= {MAX_THINK})"
+            )
+        self._columns[cpu].append((addr << ADDR_SHIFT) | (think << 1))
+        self._access_counts[cpu] += 1
 
     def write(self, cpu: int, addr: int, think: int = 2) -> None:
-        self.traces[cpu].append(Access(addr, True, think))
+        if not (0 <= addr <= MAX_ADDR and 0 <= think <= MAX_THINK):
+            raise TraceError(
+                f"reference ({addr:#x}, think={think}) outside the "
+                f"encodable range (addr <= {MAX_ADDR:#x}, think <= {MAX_THINK})"
+            )
+        self._columns[cpu].append((addr << ADDR_SHIFT) | (think << 1) | 1)
+        self._access_counts[cpu] += 1
 
     def barrier(self) -> int:
         """Append the next global barrier to every CPU's trace."""
         ident = self._next_barrier
         self._next_barrier += 1
-        for trace in self.traces:
-            trace.append(Barrier(ident))
+        word = -1 - ident
+        for column in self._columns:
+            column.append(word)
+        self._barrier_ids.append(ident)
         return ident
 
     def first_touch(self, cpu: int, addrs) -> None:
@@ -80,9 +105,17 @@ class TraceBuilder:
         program's init phase, before the first barrier, touching every
         page exactly once (by the CPU that should become its home).
         """
-        trace = self.traces[cpu]
+        column = self._columns[cpu]
+        count = 0
         for addr in addrs:
-            trace.append(Access(addr, True, 0))
+            if not 0 <= addr <= MAX_ADDR:
+                raise TraceError(
+                    f"address {addr:#x} outside the encodable range "
+                    f"[0, {MAX_ADDR:#x}]"
+                )
+            column.append((addr << ADDR_SHIFT) | 1)
+            count += 1
+        self._access_counts[cpu] += count
 
     def build(
         self,
@@ -92,18 +125,34 @@ class TraceBuilder:
         scaled_input: str = "",
         **metadata,
     ) -> Program:
+        """Finish the program, transferring buffer ownership to it.
+
+        The builder resets to empty afterwards: the program's trusted
+        counters describe exactly the handed-over columns, and appends
+        after ``build`` can never desync them.
+        """
         if self._next_barrier == 0:
             raise TraceError(
                 f"program {name!r} has no barriers; kernels must emit at "
                 "least the init barrier so placement is well-defined"
             )
+        columns = self._columns
+        access_counts = self._access_counts
+        barrier_ids = self._barrier_ids
+        total_cpus = self.machine.total_cpus
+        self._columns = [new_column() for _ in range(total_cpus)]
+        self._access_counts = [0] * total_cpus
+        self._barrier_ids = []
+        self._next_barrier = 0
         return Program(
             name=name,
-            traces=self.traces,
             description=description,
             paper_input=paper_input,
             scaled_input=scaled_input,
             metadata=dict(metadata),
+            columns=columns,
+            access_counts=access_counts,
+            barrier_ids=barrier_ids,
         )
 
 

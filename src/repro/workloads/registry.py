@@ -1,10 +1,18 @@
 """Workload registry: name -> builder, with Table 3 metadata and a
-process-wide program cache (trace generation is deterministic, so a
-(name, scale, machine-shape) triple always yields the same program).
+process-wide compiled-program cache.
+
+Trace generation is deterministic, so a ``(name, scale, machine-shape,
+address-space)`` key always yields the same compiled program, and the
+cache lets a cross-protocol sweep (the four systems of Figure 6, say)
+generate and compile each workload exactly once: protocols differ only
+in the :class:`~repro.common.params.SystemConfig`, never in the trace.
+``build_counts()`` exposes how many times each key was actually
+generated, so tests (and profiling) can assert the reuse contract.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.addressing import AddressSpace
@@ -44,12 +52,35 @@ APPLICATIONS: Dict[str, Tuple[Builder, str, str]] = {
     "raytrace": (raytrace.build, "3-D scene rendering using ray-tracing", raytrace.PAPER_INPUT),
 }
 
-_cache: Dict[Tuple[str, float, int, int, int, int], Program] = {}
+ProgramKey = Tuple[str, float, int, int, int, int]
+
+_cache: Dict[ProgramKey, Program] = {}
+#: how many times each key was actually *generated* (cache misses).
+_build_counts: Counter = Counter()
 
 
 def workload_names() -> List[str]:
     """All application names, in the paper's (alphabetical) order."""
     return list(APPLICATIONS)
+
+
+def program_key(
+    name: str,
+    machine: Optional[MachineParams] = None,
+    space: Optional[AddressSpace] = None,
+    scale: float = 1.0,
+) -> ProgramKey:
+    """The compiled-program cache key: everything generation depends on."""
+    machine = machine or MachineParams()
+    space = space or AddressSpace()
+    return (
+        name,
+        scale,
+        machine.nodes,
+        machine.cpus_per_node,
+        space.block_size,
+        space.page_size,
+    )
 
 
 def build_program(
@@ -66,21 +97,29 @@ def build_program(
         )
     machine = machine or MachineParams()
     space = space or AddressSpace()
-    key = (
-        name,
-        scale,
-        machine.nodes,
-        machine.cpus_per_node,
-        space.block_size,
-        space.page_size,
-    )
+    key = program_key(name, machine, space, scale)
     if use_cache and key in _cache:
         return _cache[key]
     builder, _, _ = APPLICATIONS[name]
     program = builder(machine, space, scale=scale)
+    _build_counts[key] += 1
     if use_cache:
         _cache[key] = program
     return program
+
+
+def build_counts() -> Dict[ProgramKey, int]:
+    """Generation counts per program key since the last reset.
+
+    A four-protocol sweep over a warm cache shows exactly one build per
+    (app, scale, machine, space) — the cross-protocol reuse contract.
+    """
+    return dict(_build_counts)
+
+
+def reset_build_counts() -> None:
+    """Zero the generation counters (tests bracket sweeps with this)."""
+    _build_counts.clear()
 
 
 def clear_cache() -> None:

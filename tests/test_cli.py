@@ -37,6 +37,20 @@ def test_run_custom_threshold(capsys):
     assert "rnuma" in out
 
 
+def test_trace_stats(capsys):
+    out = run_cli(capsys, "trace-stats", "fft", "--scale", "0.1")
+    assert "accesses" in out
+    assert "barriers" in out
+    assert "pages touched" in out
+    assert "compiled size" in out
+    assert "cpu" in out and "references" in out
+
+
+def test_trace_stats_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace-stats", "linpack"])
+
+
 def test_figure6_subset(capsys):
     out = run_cli(capsys, "figure", "6", "--scale", "0.1", "--apps", "em3d")
     assert "Figure 6" in out and "em3d" in out
