@@ -1,8 +1,37 @@
-"""Micro-benchmarks of the simulation engine itself: simulated accesses
-per second on an L1-hit-dominated stream and on a miss-heavy stream.
-These guard against hot-path regressions.  The executor benchmarks at
-the bottom measure the multiprocessing fan-out against the same sweep
-run serially (the speedup tracks the machine's core count)."""
+"""Micro-benchmarks of the simulation engine itself.
+
+The headline measurement is :func:`run_engine_comparison`: the
+run-ahead scheduler (:class:`~repro.sim.engine.SimulationEngine`)
+against the retained one-event-per-reference loop
+(:class:`~repro.sim.reference.ReferenceEngine`) on the paper's default
+8-node, 32-processor machine, across three scenarios:
+
+- ``serial_hits`` — one processor in an L1-resident serial section
+  while the rest wait at a barrier: the drain case the run-ahead
+  scheduler exists for (heap ops collapse to ~zero);
+- ``parallel_hits`` — all 32 processors in lockstep on private
+  blocks: the adversarial case, where exact (time, cpu) ordering
+  forces a scheduler event per reference and only the cheaper
+  inner loop and array caches help;
+- ``app`` — an em3d sweep step, the end-to-end mix of hits and the
+  (dominant) miss path.
+
+Results are also written as ``benchmarks/BENCH_engine.json`` by
+``python -m benchmarks.bench_engine`` so the refs/sec trajectory is
+tracked across PRs; ``benchmarks/smoke.py`` runs the comparison at a
+small scale in CI.  Every comparison asserts that both engines return
+identical SimulationResults — a benchmark that drifts from the oracle
+is reporting nonsense.
+
+The pytest-benchmark cases at the bottom guard individual paths (hit
+stream, miss stream, legacy object-trace input, executor fan-out).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 from repro.common.addressing import AddressSpace
 from repro.common.params import CacheParams, MachineParams, SystemConfig
@@ -10,17 +39,23 @@ from repro.common.records import Access, Barrier
 from repro.experiments.config import cc_config, ideal, rnuma_config, scoma_config
 from repro.experiments.executor import Executor, Job
 from repro.experiments.runner import ResultCache
-from repro.sim.engine import simulate
+from repro.sim.engine import SimulationEngine, simulate
+from repro.sim.reference import ReferenceEngine
 from repro.workloads.compile import CompiledProgram
+from repro.workloads.registry import build_program
 
 SPACE = AddressSpace()
 MACHINE = MachineParams(nodes=2, cpus_per_node=1)
+#: The paper's default machine: 8 nodes x 4 processors.
+PAPER_MACHINE = MachineParams()
+
+BENCH_JSON = Path(__file__).parent / "BENCH_engine.json"
 
 
-def _config(protocol="ccnuma"):
+def _config(protocol="ccnuma", machine=MACHINE):
     return SystemConfig(
         protocol=protocol,
-        machine=MACHINE,
+        machine=machine,
         caches=CacheParams(),
         space=SPACE,
     )
@@ -37,6 +72,160 @@ def _miss_trace(n=20000):
     span = 4 * 1024 * 1024
     t = [Access((i * stride * 7) % span, think=1) for i in range(n)]
     return [t + [Barrier(0)], [Barrier(0)]]
+
+
+# ----------------------------------------------------------------------
+# run-ahead vs reference comparison (the cross-PR tracked numbers)
+# ----------------------------------------------------------------------
+
+
+def _serial_hits_program(n: int) -> CompiledProgram:
+    """One cpu runs an L1-resident stretch; 31 park at the barrier."""
+    traces = [[Access(0, think=1) for _ in range(n)] + [Barrier(0)]]
+    traces += [[Barrier(0)] for _ in range(1, PAPER_MACHINE.total_cpus)]
+    return CompiledProgram("bench-serial-hits", traces=traces)
+
+
+def _parallel_hits_program(n: int) -> CompiledProgram:
+    """Every cpu hammers its own private page set in lockstep."""
+    page = SPACE.page_size
+    traces = []
+    for c in range(PAPER_MACHINE.total_cpus):
+        base = c * page * 4
+        traces.append([Access(base, think=1) for _ in range(n)] + [Barrier(0)])
+    return CompiledProgram("bench-parallel-hits", traces=traces)
+
+
+def _time_engine(engine_cls, config, program, repeats: int):
+    """Best-of-N wall time of ``run()`` alone; returns (result, dt, sched)."""
+    best = None
+    result = None
+    sched = None
+    for _ in range(repeats):
+        engine = engine_cls(config, program)
+        t0 = time.perf_counter()
+        result = engine.run()
+        dt = time.perf_counter() - t0
+        sched = engine.sched_stats
+        best = dt if best is None else min(best, dt)
+    return result, best, sched
+
+
+def _results_identical(a, b) -> bool:
+    return (
+        a.exec_cycles == b.exec_cycles
+        and a.cpu_finish_times == b.cpu_finish_times
+        and [n.as_dict() for n in a.stats.nodes]
+        == [n.as_dict() for n in b.stats.nodes]
+        and a.refetch_counts == b.refetch_counts
+    )
+
+
+def _compare(config, program, repeats: int) -> dict:
+    fast_r, fast_dt, fast_sched = _time_engine(
+        SimulationEngine, config, program, repeats
+    )
+    slow_r, slow_dt, slow_sched = _time_engine(
+        ReferenceEngine, config, program, repeats
+    )
+    assert _results_identical(fast_r, slow_r), (
+        "run-ahead and reference engines disagree — benchmark void"
+    )
+    refs = fast_sched["refs"]
+    heap_ops = fast_sched["heap_pops"] + fast_sched["heap_pushes"]
+    return {
+        "refs": refs,
+        "miss_rate": fast_r.total("l1_misses") / refs if refs else 0.0,
+        "runahead_refs_per_s": refs / fast_dt,
+        "reference_refs_per_s": refs / slow_dt,
+        "speedup": slow_dt / fast_dt,
+        "heap_ops_per_ref": heap_ops / refs if refs else 0.0,
+        "reference_heap_ops_per_ref": (
+            (slow_sched["heap_pops"] + slow_sched["heap_pushes"]) / refs
+            if refs
+            else 0.0
+        ),
+        "mean_run_length": refs / fast_sched["drains"] if fast_sched["drains"] else 0.0,
+    }
+
+
+def run_engine_comparison(scale: float = 1.0, repeats: int = 3) -> dict:
+    """Run-ahead vs reference on the paper's 8-node machine.
+
+    ``scale`` shrinks the reference counts (smoke uses 0.1); the
+    scenario *shapes* stay fixed.  Returns a JSON-ready dict.
+    """
+    n = max(2000, int(200000 * scale))
+    config = _config(machine=PAPER_MACHINE)
+    scenarios = {
+        "serial_hits": _compare(config, _serial_hits_program(n), repeats),
+        "parallel_hits": _compare(
+            config, _parallel_hits_program(max(200, n // 10)), repeats
+        ),
+        "app": _compare(
+            config, build_program("em3d", scale=max(0.05, 0.5 * scale)), repeats
+        ),
+    }
+    return {
+        "bench": "engine",
+        "machine": {
+            "nodes": PAPER_MACHINE.nodes,
+            "cpus_per_node": PAPER_MACHINE.cpus_per_node,
+        },
+        "scale": scale,
+        "scenarios": scenarios,
+    }
+
+
+def assert_engine_win(
+    numbers: dict, serial_floor: float = 3.0, strict_timing: bool = True
+) -> None:
+    """The wins the run-ahead scheduler must deliver.
+
+    The drain scenario must clear ``serial_floor`` (the PR-3 target is
+    3x; smoke passes a lower floor to tolerate CI timing noise).  The
+    deterministic scheduler counters are always checked; the tighter
+    lockstep/app timing floors (whose expected margins are small) only
+    under ``strict_timing`` — CI gates on the counters instead, so one
+    stolen CPU slice cannot turn a green build red.
+    """
+    scenarios = numbers["scenarios"]
+    serial = scenarios["serial_hits"]
+    assert serial["speedup"] >= serial_floor, (
+        f"serial-section speedup {serial['speedup']:.2f}x < {serial_floor}x"
+    )
+    # Deterministic: run-ahead makes heap traffic on the drain scenario
+    # all but vanish, and every comparison asserted result equality.
+    assert serial["heap_ops_per_ref"] < 0.01
+    assert serial["mean_run_length"] > 100
+    if strict_timing:
+        assert scenarios["parallel_hits"]["speedup"] >= 1.0
+        assert scenarios["app"]["speedup"] >= 1.0
+
+
+def write_bench_json(numbers: dict, path: Path = BENCH_JSON) -> Path:
+    path.write_text(json.dumps(numbers, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(scale: float = 1.0) -> int:
+    numbers = run_engine_comparison(scale=scale)
+    assert_engine_win(numbers)
+    path = write_bench_json(numbers)
+    for name, s in numbers["scenarios"].items():
+        print(
+            f"{name:14s} {s['runahead_refs_per_s'] / 1e3:8.0f}k refs/s "
+            f"(reference {s['reference_refs_per_s'] / 1e3:8.0f}k) "
+            f"speedup {s['speedup']:.2f}x  heap_ops/ref {s['heap_ops_per_ref']:.4f}  "
+            f"mean_run {s['mean_run_length']:.1f}  miss {s['miss_rate'] * 100:.1f}%"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark cases
+# ----------------------------------------------------------------------
 
 
 def bench_engine_l1_hits(benchmark):
@@ -65,6 +254,16 @@ def bench_engine_miss_path_from_objects(benchmark):
     traces = _miss_trace()
     result = benchmark(lambda: simulate(_config(), [list(t) for t in traces]))
     assert result.total("l1_misses") > 10000
+
+
+def bench_engine_runahead_vs_reference(benchmark):
+    # The tracked comparison at a reduced scale; prints with -s.
+    numbers = benchmark.pedantic(
+        lambda: run_engine_comparison(scale=0.25, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert_engine_win(numbers, serial_floor=2.0, strict_timing=False)
 
 
 def bench_engine_rnuma_relocations(benchmark):
@@ -104,3 +303,9 @@ def bench_executor_parallel_sweep(benchmark):
     results = benchmark(lambda: Executor(workers=4, cache=ResultCache()).run(jobs))
     assert len(results) == len(jobs)
     assert all(r.exec_cycles > 0 for r in results)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0))

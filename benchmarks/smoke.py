@@ -50,6 +50,20 @@ def main() -> int:
     result = simulate(base_rnuma_config(), program)
     assert result.exec_cycles > 0
     print(f"engine ok  em3d x0.05: {result.exec_cycles:,} cycles")
+
+    # Run-ahead scheduler vs the reference loop at a small scale: the
+    # comparison itself asserts result equality, and the win floor is
+    # relaxed from the full benchmark's 3x to tolerate CI timing noise.
+    from benchmarks.bench_engine import assert_engine_win, run_engine_comparison
+
+    numbers = run_engine_comparison(scale=0.1, repeats=2)
+    assert_engine_win(numbers, serial_floor=1.8, strict_timing=False)
+    serial = numbers["scenarios"]["serial_hits"]
+    print(
+        f"scheduler ok  serial-section {serial['speedup']:.2f}x vs reference, "
+        f"heap ops/ref {serial['heap_ops_per_ref']:.4f}, "
+        f"mean run {serial['mean_run_length']:.0f}"
+    )
     return 0
 
 

@@ -10,11 +10,18 @@ BLOCK_INVALID   block not present locally; RAD must fetch
 BLOCK_READONLY  present, reads may be satisfied locally
 BLOCK_WRITABLE  present with write permission (node has ownership)
 =============== ==================================================
+
+Tags for one page live in a flat ``bytearray`` of ``blocks_per_page``
+entries (and a parallel one for the dirty bits), so the simulator's
+tag probe is a dict lookup for the page followed by a C-speed byte
+load — no inner per-offset dict.  A zero byte *is* BLOCK_INVALID and a
+fresh frame is all-zero, which makes mapping a page a single
+allocation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List
 
 from repro.common.errors import ProtocolError
 
@@ -31,6 +38,8 @@ class FineGrainTags:
     Tags exist only for pages currently mapped in the page cache; mapping
     a page resets every block to BLOCK_INVALID (a newly allocated frame
     holds no data until blocks are fetched or relocated into it).
+    Offsets must lie in ``[0, blocks_per_page)`` — the tag store is a
+    fixed-width hardware structure, not a sparse map.
     """
 
     __slots__ = ("blocks_per_page", "_tags", "_dirty")
@@ -39,17 +48,17 @@ class FineGrainTags:
         if blocks_per_page <= 0:
             raise ProtocolError("blocks_per_page must be positive")
         self.blocks_per_page = blocks_per_page
-        # page -> {block offset -> state}; absent offset == BLOCK_INVALID
-        self._tags: Dict[int, Dict[int, int]] = {}
-        # page -> set of dirty block offsets
-        self._dirty: Dict[int, set] = {}
+        # page -> per-offset tag bytes; a zero byte == BLOCK_INVALID
+        self._tags: Dict[int, bytearray] = {}
+        # page -> per-offset dirty flags (1 == locally dirty)
+        self._dirty: Dict[int, bytearray] = {}
 
     def map_page(self, page: int) -> None:
         """Create all-invalid tags for a freshly mapped page."""
         if page in self._tags:
             raise ProtocolError(f"page {page} already has fine-grain tags")
-        self._tags[page] = {}
-        self._dirty[page] = set()
+        self._tags[page] = bytearray(self.blocks_per_page)
+        self._dirty[page] = bytearray(self.blocks_per_page)
 
     def unmap_page(self, page: int) -> None:
         """Drop tags for an unmapped page."""
@@ -61,45 +70,58 @@ class FineGrainTags:
 
     def get(self, page: int, offset: int) -> int:
         """Tag state of block ``offset`` within ``page``."""
+        if offset < 0:
+            raise IndexError(f"negative block offset {offset}")
         tags = self._tags.get(page)
         if tags is None:
             return BLOCK_INVALID
-        return tags.get(offset, BLOCK_INVALID)
+        return tags[offset]
 
     def set(self, page: int, offset: int, state: int) -> None:
         if state not in _VALID_STATES:
             raise ProtocolError(f"not a fine-grain tag state: {state}")
+        if offset < 0:
+            raise IndexError(f"negative block offset {offset}")
         tags = self._tags.get(page)
         if tags is None:
             raise ProtocolError(f"page {page} is not S-mapped on this node")
+        tags[offset] = state
         if state == BLOCK_INVALID:
-            tags.pop(offset, None)
-            self._dirty[page].discard(offset)
-        else:
-            tags[offset] = state
+            self._dirty[page][offset] = 0
 
     def mark_dirty(self, page: int, offset: int) -> None:
         """Record that the local page-cache copy of a block is dirty."""
-        if page not in self._tags:
+        if offset < 0:
+            raise IndexError(f"negative block offset {offset}")
+        dirty = self._dirty.get(page)
+        if dirty is None:
             raise ProtocolError(f"page {page} is not S-mapped on this node")
-        self._dirty[page].add(offset)
+        dirty[offset] = 1
 
     def clear_dirty(self, page: int, offset: int) -> None:
         """Mark a block clean again (its data was written back home)."""
+        if offset < 0:
+            raise IndexError(f"negative block offset {offset}")
         dirty = self._dirty.get(page)
         if dirty is not None:
-            dirty.discard(offset)
+            dirty[offset] = 0
 
     def valid_offsets(self, page: int) -> List[int]:
         """Offsets of all present (readonly or writable) blocks."""
         tags = self._tags.get(page)
-        return sorted(tags) if tags else []
+        if not tags:
+            return []
+        return [off for off, state in enumerate(tags) if state]
 
     def dirty_offsets(self, page: int) -> List[int]:
         """Offsets of blocks whose local copy must be flushed home."""
         dirty = self._dirty.get(page)
-        return sorted(dirty) if dirty else []
+        if not dirty:
+            return []
+        return [off for off, flag in enumerate(dirty) if flag]
 
     def valid_count(self, page: int) -> int:
         tags = self._tags.get(page)
-        return len(tags) if tags else 0
+        if not tags:
+            return 0
+        return self.blocks_per_page - tags.count(0)

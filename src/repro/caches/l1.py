@@ -6,17 +6,28 @@ processor caches to compensate for scaled-down data sets; we default to
 the same.
 
 The cache stores no data — only (tag, state) per set — because the
-simulator is timing-only.  The ``mask``, ``block_at``, and ``state_at``
-attributes are public on purpose: the simulation engine inlines the hit
-check on its hot path instead of paying a method call per reference.
+simulator is timing-only.  Both columns are preallocated flat arrays
+indexed by set: ``block_at`` is an ``array('q')`` of resident block
+numbers (:data:`EMPTY` = −1 marks a free set) and ``state_at`` is a
+``bytearray`` of MOESI states (0 = INVALID everywhere a set is free).
+The ``mask``, ``block_at``, and ``state_at`` attributes are public on
+purpose: the simulation engine inlines the hit check on its hot path —
+two C-speed array loads, no dict probe, no method call — and both
+buffers keep their identity for the lifetime of the cache, so the
+engine may hoist them into locals across a whole run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from array import array
+from typing import Iterable, List, Optional, Tuple
 
 from repro.coherence.states import INVALID, MODIFIED, OWNED, SHARED
 from repro.common.errors import ConfigurationError
+
+#: Sentinel in ``block_at`` for a set with no resident line.  Block
+#: numbers are non-negative (addresses are), so −1 can never collide.
+EMPTY = -1
 
 
 class L1Cache:
@@ -38,9 +49,10 @@ class L1Cache:
             )
         self.num_blocks = num_blocks
         self.mask = num_blocks - 1
-        # set index -> resident block number / MOESI state
-        self.block_at: Dict[int, int] = {}
-        self.state_at: Dict[int, int] = {}
+        # set index -> resident block number / MOESI state.  Invariant:
+        # block_at[i] == EMPTY  <=>  state_at[i] == INVALID.
+        self.block_at: array = array("q", [EMPTY]) * num_blocks
+        self.state_at: bytearray = bytearray(num_blocks)
 
     def set_of(self, block: int) -> int:
         return block & self.mask
@@ -48,7 +60,7 @@ class L1Cache:
     def state_of(self, block: int) -> int:
         """MOESI state of ``block``, or INVALID if not resident."""
         idx = block & self.mask
-        if self.block_at.get(idx) == block:
+        if self.block_at[idx] == block:
             return self.state_at[idx]
         return INVALID
 
@@ -62,8 +74,8 @@ class L1Cache:
         ``block``.
         """
         idx = block & self.mask
-        resident = self.block_at.get(idx)
-        if resident is None or resident == block:
+        resident = self.block_at[idx]
+        if resident == EMPTY or resident == block:
             return None
         return resident, self.state_at[idx]
 
@@ -85,27 +97,27 @@ class L1Cache:
     def set_state(self, block: int, state: int) -> None:
         """Change the state of a resident line (INVALID removes it)."""
         idx = block & self.mask
-        if self.block_at.get(idx) != block:
+        if self.block_at[idx] != block:
             return
         if state == INVALID:
-            del self.block_at[idx]
-            del self.state_at[idx]
+            self.block_at[idx] = EMPTY
+            self.state_at[idx] = INVALID
         else:
             self.state_at[idx] = state
 
     def invalidate(self, block: int) -> int:
         """Remove ``block``; returns its prior state (INVALID if absent)."""
         idx = block & self.mask
-        if self.block_at.get(idx) != block:
+        if self.block_at[idx] != block:
             return INVALID
         state = self.state_at[idx]
-        del self.block_at[idx]
-        del self.state_at[idx]
+        self.block_at[idx] = EMPTY
+        self.state_at[idx] = INVALID
         return state
 
     def resident_blocks(self) -> List[int]:
         """All resident block numbers (unordered)."""
-        return list(self.block_at.values())
+        return [b for b in self.block_at if b != EMPTY]
 
     def resident_blocks_of_page(self, page_blocks: Iterable[int]) -> List[int]:
         """Subset of ``page_blocks`` currently resident."""
@@ -124,4 +136,4 @@ class L1Cache:
         return dirty
 
     def __len__(self) -> int:
-        return len(self.block_at)
+        return self.num_blocks - self.block_at.count(EMPTY)

@@ -30,6 +30,7 @@ import json
 import multiprocessing
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -197,6 +198,9 @@ class Executor:
         self.workers = workers
         self.cache = cache if cache is not None else ResultCache()
         self.store = store
+        #: Cumulative wall time spent in the on-disk store (load+save),
+        #: so callers can split "simulate" from "store" in a profile.
+        self.store_seconds = 0.0
 
     # -- lookup layers -------------------------------------------------
 
@@ -206,7 +210,9 @@ class Executor:
         if result is not None:
             return result
         if self.store is not None:
+            t0 = time.perf_counter()
             result = self.store.load(job)
+            self.store_seconds += time.perf_counter() - t0
             if result is not None:
                 self.cache.put(job.key, result)
         return result
@@ -214,9 +220,30 @@ class Executor:
     def _insert(self, job: Job, result: SimulationResult) -> None:
         self.cache.put(job.key, result)
         if self.store is not None:
+            t0 = time.perf_counter()
             self.store.save(job, result)
+            self.store_seconds += time.perf_counter() - t0
 
     # -- execution -----------------------------------------------------
+
+    def missing(self, jobs: Sequence[Job]) -> List[Job]:
+        """The deduplicated subset of ``jobs`` that will actually be
+        simulated by :meth:`run` (cache and store cannot satisfy them).
+
+        Store hits are promoted into the in-memory cache along the way,
+        so a following :meth:`run` does no duplicate store I/O.  Lets
+        callers warm expensive per-job inputs (compiled programs) only
+        for work that is really pending.
+        """
+        pending: List[Job] = []
+        seen = set()
+        for job in jobs:
+            if job.key in seen:
+                continue
+            seen.add(job.key)
+            if self._lookup(job) is None:
+                pending.append(job)
+        return pending
 
     def run(self, jobs: Sequence[Job]) -> List[SimulationResult]:
         """Run every job, reusing cache/store; results in input order.

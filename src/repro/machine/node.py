@@ -5,6 +5,13 @@ translation table, reactive counters).
 Which of these components a given protocol actually exercises is decided
 by the protocol policy; the node always carries all of them (an R-NUMA
 RAD *is* the union of the CC-NUMA and S-COMA RADs, paper Figure 4a).
+
+The L1s and the fine-grain tag store are array-backed (see
+:mod:`repro.caches.l1` and :mod:`repro.caches.finegrain`): the
+simulation engine reads their buffers directly on its hot path.  The
+node also precomputes ``peer_l1s`` — for each processor slot, the
+other slots' caches — so the engine's intra-node snoop loops iterate a
+ready-made list instead of re-filtering ``l1s`` on every miss.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ class Node:
     __slots__ = (
         "node_id",
         "l1s",
+        "peer_l1s",
         "tlbs",
         "bus",
         "block_cache",
@@ -49,6 +57,13 @@ class Node:
 
         self.l1s: List[L1Cache] = [
             L1Cache(caches.l1_blocks(space)) for _ in range(cpus)
+        ]
+        # slot -> every *other* slot's L1 (the caches a bus transaction
+        # from that slot snoops).  Empty on single-processor nodes, so
+        # the engine's snoop loops cost nothing there.
+        self.peer_l1s: List[List[L1Cache]] = [
+            [l1 for j, l1 in enumerate(self.l1s) if j != i]
+            for i in range(cpus)
         ]
         self.tlbs: List[Tlb] = [Tlb() for _ in range(cpus)]
         self.bus = BusyResource(f"bus{node_id}")

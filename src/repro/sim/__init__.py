@@ -1,9 +1,21 @@
 """Execution engine: drives per-processor traces through the machine
 model with per-processor clocks, contention, and barrier synchronization,
 and produces a :class:`SimulationResult`.
+
+Two schedulers share one miss path: the run-ahead engine
+(:func:`simulate`, the production path) and the classic
+one-event-per-reference loop (:func:`simulate_reference`, the
+differential-testing oracle and benchmark baseline).
 """
 
 from repro.sim.engine import SimulationEngine, simulate
+from repro.sim.reference import ReferenceEngine, simulate_reference
 from repro.sim.results import SimulationResult
 
-__all__ = ["SimulationEngine", "SimulationResult", "simulate"]
+__all__ = [
+    "ReferenceEngine",
+    "SimulationEngine",
+    "SimulationResult",
+    "simulate",
+    "simulate_reference",
+]

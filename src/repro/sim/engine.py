@@ -2,7 +2,8 @@
 
 Drives one trace per processor through the machine model:
 
-- per-processor clocks advanced through a min-heap scheduler;
+- per-processor clocks advanced through a min-heap scheduler with a
+  *run-ahead* inner loop (see below);
 - an inlined L1 fast path (hits are the overwhelming majority of
   references and must stay cheap in pure Python);
 - a full miss path implementing the intra-node MOESI snoop, the three
@@ -13,15 +14,45 @@ Drives one trace per processor through the machine model:
   protocol controllers;
 - global barriers.
 
+Run-ahead scheduling
+--------------------
+
+The classic loop pays one ``heappop`` + ``heappush`` and several
+attribute loads per memory reference.  This engine instead *drains* a
+processor after popping it: it keeps executing that CPU's references in
+a tight local-variable loop for as long as the CPU's next event,
+ordered as the tuple ``(time, cpu)``, would sort before the current
+heap head — i.e. for as long as the classic loop would have popped this
+CPU right back.  No other processor may act before the heap head, so
+the drained schedule is *exactly* the heap schedule (ties included:
+tuple order breaks them by CPU id in both).  L1 hit and busy counters
+accumulate in locals during a drain and flush to :class:`NodeStats`
+once per run, so the dominant path touches no heap and no attribute.
+The drain crosses misses too — a miss just advances the CPU's clock
+further — and stops only at a barrier, at end-of-trace, or when
+another CPU's event comes first.  See docs/architecture.md
+("Scheduler") for the invariant written out.
+
 Traces are consumed in their packed columnar form (one ``array('q')``
 of 64-bit words per CPU, see :mod:`repro.common.records`): the hot
 loop classifies an item by its sign bit and unpacks the address/think/
 write fields with shifts, so a compiled program runs with no per-run
 conversion pass.  Legacy Access/Barrier object sequences are packed
-(and barrier-validated) once at engine construction.
+(and barrier-validated) once at engine construction; barrier
+validation of raw columns is memoized across runs
+(:func:`repro.common.records.ensure_barriers_validated`), so replaying
+one program across the four protocols of a sweep validates once.
+
+L1 state lives in preallocated arrays (:mod:`repro.caches.l1`), so the
+inlined hit check is two C-speed array loads.  The buffers keep their
+identity for the life of a cache, which lets the drain loop hoist them
+into locals.
 
 Timing constants come from :class:`repro.common.params.CostParams`
 (the paper's Table 2).
+
+:class:`repro.sim.reference.ReferenceEngine` retains the classic
+one-event-per-reference loop as the differential-testing oracle.
 """
 
 from __future__ import annotations
@@ -30,6 +61,7 @@ import heapq
 from typing import Dict, List, Optional, Sequence
 
 from repro.caches.finegrain import BLOCK_INVALID, BLOCK_READONLY, BLOCK_WRITABLE
+from repro.caches.l1 import EMPTY as L1_EMPTY
 from repro.coherence.states import (
     EXCLUSIVE,
     INVALID,
@@ -43,7 +75,8 @@ from repro.common.records import (
     ADDR_SHIFT,
     THINK_MASK,
     as_columns,
-    validate_barrier_sequences,
+    column_profile,
+    ensure_barriers_validated,
 )
 from repro.machine.machine import Machine
 from repro.machine.node import Node
@@ -52,6 +85,14 @@ from repro.protocols import make_policy
 from repro.sim.results import SimulationResult
 from repro.vm.page_table import MAP_CC, MAP_LOCAL, MAP_SCOMA, MAP_UNMAPPED
 
+# The drain loop encodes MOESI facts as arithmetic: INVALID must be
+# falsy, and "write hit without a bus transaction" must be expressible
+# as ``st >= MODIFIED or st == EXCLUSIVE``.  Pin the values those
+# shortcuts depend on so a states.py edit cannot silently corrupt the
+# fast path.
+assert (INVALID, SHARED, EXCLUSIVE, OWNED, MODIFIED) == (0, 1, 2, 3, 4), (
+    "engine fast path assumes the canonical MOESI encoding"
+)
 
 class SimulationEngine:
     """One simulation run: a machine, a policy, and a set of traces.
@@ -60,6 +101,11 @@ class SimulationEngine:
     (its columns are consumed directly and its memoized first-touch map
     is reused), a sequence of packed columns/TraceViews, or legacy
     per-CPU Access/Barrier sequences.
+
+    After :meth:`run`, ``sched_stats`` holds scheduler-level counters
+    (references executed, heap pops/pushes, drain count) that the
+    engine benchmarks report as heap-ops-per-reference and mean
+    run-ahead length.
     """
 
     def __init__(
@@ -80,8 +126,10 @@ class SimulationEngine:
         if getattr(traces, "barrier_ids", None) is None:
             # Compiled programs were barrier-validated at construction;
             # everything else (object traces, raw columns, views) is
-            # checked here so a mismatch fails fast, not as a deadlock.
-            validate_barrier_sequences(self._columns)
+            # checked here — memoized, so a sweep replaying the same
+            # columns across protocols scans them once — because a
+            # mismatch must fail fast, not as a deadlock.
+            ensure_barriers_validated(self._columns)
         space = config.space
         if homes is None:
             cached = getattr(traces, "first_touch_homes", None)
@@ -113,6 +161,23 @@ class SimulationEngine:
         self._block_page_shift = space.page_shift - space.block_shift
         self._bpp_mask = space.blocks_per_page - 1
 
+        # Deferred source of the per-CPU (accesses, think_cycles, runs)
+        # profile: run() accounts l1_hits and busy_cycles analytically
+        # instead of per reference (every access of a completed run
+        # executes exactly once and contributes think+1 busy cycles,
+        # hit or miss).  Compiled programs memoize the scan across the
+        # protocols of a sweep; for raw columns it runs lazily, only
+        # for the engine that needs it (the reference loop does not).
+        self._profile_fn = getattr(traces, "per_cpu_profile", None)
+
+        #: Scheduler counters, populated by :meth:`run`.
+        self.sched_stats: Dict[str, int] = {}
+
+    def _cpu_profile(self):
+        if self._profile_fn is not None:
+            return self._profile_fn()
+        return [column_profile(column) for column in self._columns]
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -126,61 +191,153 @@ class SimulationEngine:
         traces = self._columns
         n_cpus = len(traces)
         l1s = self._l1_of_cpu
-        nodes = [self.machine.nodes[self._node_of_cpu[c]] for c in range(n_cpus)]
+        node_of = self._node_of_cpu
+        nodes = [self.machine.nodes[node_of[c]] for c in range(n_cpus)]
+        n_nodes = len(self.machine.nodes)
 
-        ptr = [0] * n_cpus
+        # Per-CPU hot context, rebound in one list index per switch: the
+        # trace cursor (a persistent iterator over the packed column —
+        # it remembers its position across yields, which removes all
+        # index bookkeeping from the loop) and the CPU's L1 arrays.
+        # The arrays keep their identity for the whole run, so hoisting
+        # them here is safe.  Cold per-CPU state (the L1 object, node,
+        # node id) is looked up only on the rare paths.
+        cursors = [iter(column) for column in traces]
+        ctxs = [
+            (cursors[c], l1s[c].block_at, l1s[c].state_at, l1s[c].mask)
+            for c in range(n_cpus)
+        ]
+
+        # Only misses touch per-node accumulators inside the loop; the
+        # hit and busy counters are settled analytically after it (a
+        # completed run executes every access exactly once), so the
+        # dominant path carries no stats work at all.  Nothing reads
+        # the four deferred counters mid-run.
+        misses_acc = [0] * n_nodes
+        stall_acc = [0] * n_nodes
+
         finish = [0] * n_cpus
-        heap = [(0, c) for c in range(n_cpus)]
+        # The earliest event is held in hand; the heap holds the rest.
+        # Yielding to the heap is then a single heappushpop instead of
+        # a heappush plus a later heappop.
+        heap = [(0, c) for c in range(1, n_cpus)]
         heapq.heapify(heap)
+        t = 0
+        cpu = 0
         barrier_arrivals: Dict[int, List] = {}
-        # cpus currently parked at a barrier are not in the heap
+        # cpus currently parked at a barrier are in neither heap nor hand
 
+        heappushpop = heapq.heappushpop
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         miss = self._miss  # bind
+        yields = 0  # drain ended because another cpu's event came first
+        rare_pops = 0  # hand refills after a barrier park or trace end
+        barrier_pushes = 0
+        running = n_cpus > 0
 
-        while heap:
-            t, cpu = heapq.heappop(heap)
-            items = traces[cpu]
-            i = ptr[cpu]
-            if i >= len(items):
-                finish[cpu] = t
-                continue
-            word = items[i]
-            ptr[cpu] = i + 1
-            if word >= 0:
-                # Access: addr/think/write unpacked straight from the word.
-                think = (word >> 1) & think_mask
-                w = word & 1
-                now = t + think
-                l1 = l1s[cpu]
-                b = word >> block_unpack
-                idx = b & l1.mask
-                st = l1.state_at[idx] if l1.block_at.get(idx) == b else 0
-                node = nodes[cpu]
-                if st and (not w or st >= 4 or st == 2):
-                    # L1 hit: read in any valid state, or write in M/E.
-                    if w and st == 2:  # EXCLUSIVE -> MODIFIED
-                        l1.state_at[idx] = 4
-                    node.stats.l1_hits += 1
-                    node.stats.busy_cycles += think + 1
-                    heapq.heappush(heap, (now + 1, cpu))
+        while running:
+            # Switch in the hand cpu's context, then run it ahead while
+            # its next event, ordered as the tuple (time, cpu), sorts
+            # before the heap head: the classic loop would pop this cpu
+            # straight back, so executing here is schedule-exact (ties
+            # break by cpu id through tuple order, same as the heap).
+            # The drain leaves the heap untouched, so the head bound is
+            # loop-invariant.
+            it, blocks, states, lmask = ctxs[cpu]
+            if not heap:
+                # Every other cpu is parked at a barrier (or done), so
+                # nothing can preempt this one: drain with no boundary
+                # check at all.  Misses never add heap events; only a
+                # barrier (ours, completing) can repopulate the heap,
+                # and that path breaks out to re-select the drain kind.
+                for word in it:
+                    if word < 0:
+                        ident = -1 - word
+                        arrivals = barrier_arrivals.setdefault(ident, [])
+                        arrivals.append((t, cpu))
+                        if len(arrivals) == n_cpus:
+                            release = max(at for at, _ in arrivals) + barrier_cost
+                            for at, c2 in arrivals:
+                                nodes[c2].stats.barrier_wait_cycles += release - at
+                                heappush(heap, (release, c2))
+                            barrier_pushes += n_cpus
+                            del barrier_arrivals[ident]
+                            self.machine.stats.barriers_crossed += 1
+                            t, cpu = heappop(heap)
+                            rare_pops += 1
+                        else:
+                            running = False
+                        break
+                    b = word >> block_unpack
+                    idx = b & lmask
+                    if blocks[idx] == b and (
+                        not word & 1
+                        or (st := states[idx]) >= MODIFIED
+                        or st == EXCLUSIVE
+                    ):
+                        if word & 1 and st == EXCLUSIVE:
+                            states[idx] = MODIFIED
+                        t += ((word >> 1) & think_mask) + 1
+                    else:
+                        now = t + ((word >> 1) & think_mask)
+                        st = states[idx] if blocks[idx] == b else INVALID
+                        nid = node_of[cpu]
+                        latency = miss(cpu, nodes[cpu], l1s[cpu], b, word & 1, st, now)
+                        misses_acc[nid] += 1
+                        stall_acc[nid] += latency
+                        t = now + 1 + latency
                 else:
-                    node.stats.l1_misses += 1
-                    latency = miss(cpu, node, l1, b, w, st, now)
-                    node.stats.busy_cycles += think + 1
-                    node.stats.stall_cycles += latency
-                    heapq.heappush(heap, (now + 1 + latency, cpu))
+                    finish[cpu] = t
+                    running = False
+                continue
+            h_t, h_c = heap[0]
+            for word in it:
+                if word < 0:
+                    # Barrier: park this cpu until everyone arrives.
+                    # The barrier cannot complete here — every cpu
+                    # still in the (non-empty) heap has yet to arrive —
+                    # so parking always hands the machine to the head.
+                    arrivals = barrier_arrivals.setdefault(-1 - word, [])
+                    arrivals.append((t, cpu))
+                    t, cpu = heappop(heap)
+                    rare_pops += 1
+                    break
+                # Access: addr/think/write unpacked straight from the
+                # word.  A resident line (tag match) always hits a read;
+                # writes additionally need M (>=) or E, and E upgrades
+                # to M in place.
+                b = word >> block_unpack
+                idx = b & lmask
+                if blocks[idx] == b and (
+                    not word & 1
+                    or (st := states[idx]) >= MODIFIED
+                    or st == EXCLUSIVE
+                ):
+                    if word & 1 and st == EXCLUSIVE:
+                        states[idx] = MODIFIED
+                    nt = t + ((word >> 1) & think_mask) + 1
+                else:
+                    now = t + ((word >> 1) & think_mask)
+                    st = states[idx] if blocks[idx] == b else INVALID
+                    nid = node_of[cpu]
+                    latency = miss(cpu, nodes[cpu], l1s[cpu], b, word & 1, st, now)
+                    misses_acc[nid] += 1
+                    stall_acc[nid] += latency
+                    nt = now + 1 + latency
+                if nt < h_t or (nt == h_t and cpu < h_c):
+                    # Still the earliest event machine-wide: run ahead.
+                    t = nt
+                    continue
+                t, cpu = heappushpop(heap, (nt, cpu))
+                yields += 1
+                break
             else:
-                # Barrier: park this cpu until everyone arrives.
-                ident = -1 - word
-                arrivals = barrier_arrivals.setdefault(ident, [])
-                arrivals.append((t, cpu))
-                if len(arrivals) == n_cpus:
-                    release = max(at for at, _ in arrivals) + barrier_cost
-                    for at, c2 in arrivals:
-                        nodes[c2].stats.barrier_wait_cycles += release - at
-                        heapq.heappush(heap, (release, c2))
-                    del barrier_arrivals[ident]
-                    self.machine.stats.barriers_crossed += 1
+                # Trace exhausted: the cpu retires at its current clock
+                # (exactly when the classic loop's final pop would be).
+                finish[cpu] = t
+                t, cpu = heappop(heap)
+                rare_pops += 1
 
         if barrier_arrivals:
             waiting = sorted(barrier_arrivals)
@@ -189,7 +346,28 @@ class SimulationEngine:
                 "(some trace ended before reaching them)"
             )
 
+        # Settle the deferred counters: hits = accesses - misses, and
+        # every access contributed think+1 busy cycles, hit or miss —
+        # both schedule-independent, both per node.
+        access_acc = [0] * n_nodes
+        busy_acc = [0] * n_nodes
+        for c, (accesses, think, _runs) in enumerate(self._cpu_profile()):
+            access_acc[node_of[c]] += accesses
+            busy_acc[node_of[c]] += accesses + think
         machine = self.machine
+        for nid in range(n_nodes):
+            ns = machine.nodes[nid].stats
+            ns.l1_hits += access_acc[nid] - misses_acc[nid]
+            ns.l1_misses += misses_acc[nid]
+            ns.busy_cycles += busy_acc[nid]
+            ns.stall_cycles += stall_acc[nid]
+
+        self.sched_stats = {
+            "refs": sum(access_acc),
+            "heap_pops": yields + rare_pops,
+            "heap_pushes": yields + barrier_pushes,
+            "drains": yields + rare_pops + (1 if n_cpus else 0),
+        }
         return SimulationResult(
             config=self.config,
             exec_cycles=max(finish) if finish else 0,
@@ -416,19 +594,17 @@ class SimulationEngine:
         Plain SHARED copies never respond — the MBus rule that sends
         read-only remote misses to the home node (paper, Section 4).
         """
-        for i, l1 in enumerate(node.l1s):
-            if i == exclude_slot:
-                continue
+        for l1 in node.peer_l1s[exclude_slot]:
             idx = b & l1.mask
-            if l1.block_at.get(idx) == b:
+            if l1.block_at[idx] == b:
                 st = l1.state_at[idx]
                 if st == MODIFIED or st == OWNED or st == EXCLUSIVE:
                     return l1, st
         return None
 
     def _no_local_copies(self, node: Node, b: int, exclude_slot: int) -> bool:
-        for i, l1 in enumerate(node.l1s):
-            if i != exclude_slot and l1.contains(b):
+        for l1 in node.peer_l1s[exclude_slot]:
+            if l1.block_at[b & l1.mask] == b:
                 return False
         return True
 
@@ -439,18 +615,25 @@ class SimulationEngine:
         return not self.machine.directory.sharers_of(b)
 
     def _invalidate_local_copies(self, node: Node, b: int, exclude_slot: int) -> None:
-        for i, l1 in enumerate(node.l1s):
-            if i != exclude_slot:
-                l1.invalidate(b)
+        for l1 in node.peer_l1s[exclude_slot]:
+            idx = b & l1.mask
+            if l1.block_at[idx] == b:
+                l1.block_at[idx] = L1_EMPTY
+                l1.state_at[idx] = INVALID
 
     def _l1_insert(self, node: Node, l1, b: int, state: int, now: int) -> None:
-        """Insert into an L1, handling the victim write-back."""
-        victim = l1.victim_for(b)
+        """Insert into an L1, handling the victim write-back.
+
+        The write-back of a dirty victim touches only node/machine
+        state, never the L1 itself, so acting on :meth:`insert`'s
+        return value (instead of a separate ``victim_for`` probe
+        beforehand) is equivalent and saves a set lookup per miss.
+        """
+        victim = l1.insert(b, state)
         if victim is not None:
             vb, vstate = victim
             if vstate == MODIFIED or vstate == OWNED:
                 self._l1_writeback(node, vb, now)
-        l1.insert(b, state)
 
     def _l1_writeback(self, node: Node, vb: int, now: int) -> None:
         """A dirty L1 line drains to its node-level backing store."""
@@ -552,7 +735,10 @@ class SimulationEngine:
         v = self.machine.nodes[victim_node]
         had_copy = False
         for l1 in v.l1s:
-            if l1.invalidate(b) != INVALID:
+            idx = b & l1.mask
+            if l1.block_at[idx] == b:
+                l1.block_at[idx] = L1_EMPTY
+                l1.state_at[idx] = INVALID
                 had_copy = True
         if v.block_cache.invalidate(b) is not None:
             had_copy = True
@@ -568,7 +754,9 @@ class SimulationEngine:
         """The previous exclusive owner keeps a shared, clean copy."""
         v = self.machine.nodes[owner_node]
         for l1 in v.l1s:
-            l1.downgrade_to_shared(b)
+            idx = b & l1.mask
+            if l1.block_at[idx] == b:
+                l1.state_at[idx] = SHARED
         line = v.block_cache.lookup(b)
         if line is not None:
             line.dirty = False

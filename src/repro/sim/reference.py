@@ -1,0 +1,136 @@
+"""The straightforward one-event-per-reference scheduler.
+
+:class:`ReferenceEngine` is the classic loop the run-ahead scheduler in
+:mod:`repro.sim.engine` replaced: pop a CPU off the min-heap, execute
+exactly one trace item, push the CPU back.  It shares every miss-path
+method with :class:`~repro.sim.engine.SimulationEngine` — only the
+schedule driver differs — which makes it the oracle for the
+differential tests: the run-ahead engine is correct precisely when it
+produces bit-identical :class:`~repro.sim.results.SimulationResult`s
+to this loop on every input (see
+``tests/property/test_runahead_differential.py``), and the honest
+baseline for ``benchmarks/bench_engine.py``'s speedup numbers.
+
+Do not optimize this file.  Its value is being obviously equivalent to
+the heap semantics the run-ahead drain must preserve.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import TraceError
+from repro.common.params import SystemConfig
+from repro.common.records import ADDR_SHIFT, THINK_MASK
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimulationResult
+
+
+class ReferenceEngine(SimulationEngine):
+    """One heap pop + push per reference; no run-ahead, no batching."""
+
+    def run(self) -> SimulationResult:
+        costs = self.config.costs
+        barrier_cost = costs.barrier_cost
+        block_unpack = ADDR_SHIFT + self._block_shift
+        think_mask = THINK_MASK
+        traces = self._columns
+        n_cpus = len(traces)
+        l1s = self._l1_of_cpu
+        nodes = [self.machine.nodes[self._node_of_cpu[c]] for c in range(n_cpus)]
+
+        ptr = [0] * n_cpus
+        finish = [0] * n_cpus
+        heap = [(0, c) for c in range(n_cpus)]
+        heapq.heapify(heap)
+        barrier_arrivals: Dict[int, List] = {}
+        # cpus currently parked at a barrier are not in the heap
+
+        miss = self._miss  # bind
+        pops = 0
+        pushes = n_cpus
+        refs = 0
+
+        while heap:
+            t, cpu = heapq.heappop(heap)
+            pops += 1
+            items = traces[cpu]
+            i = ptr[cpu]
+            if i >= len(items):
+                finish[cpu] = t
+                continue
+            word = items[i]
+            ptr[cpu] = i + 1
+            if word >= 0:
+                # Access: addr/think/write unpacked straight from the word.
+                refs += 1
+                think = (word >> 1) & think_mask
+                w = word & 1
+                now = t + think
+                l1 = l1s[cpu]
+                b = word >> block_unpack
+                idx = b & l1.mask
+                st = l1.state_at[idx] if l1.block_at[idx] == b else 0
+                node = nodes[cpu]
+                if st and (not w or st >= 4 or st == 2):
+                    # L1 hit: read in any valid state, or write in M/E.
+                    if w and st == 2:  # EXCLUSIVE -> MODIFIED
+                        l1.state_at[idx] = 4
+                    node.stats.l1_hits += 1
+                    node.stats.busy_cycles += think + 1
+                    heapq.heappush(heap, (now + 1, cpu))
+                else:
+                    node.stats.l1_misses += 1
+                    latency = miss(cpu, node, l1, b, w, st, now)
+                    node.stats.busy_cycles += think + 1
+                    node.stats.stall_cycles += latency
+                    heapq.heappush(heap, (now + 1 + latency, cpu))
+                pushes += 1
+            else:
+                # Barrier: park this cpu until everyone arrives.
+                ident = -1 - word
+                arrivals = barrier_arrivals.setdefault(ident, [])
+                arrivals.append((t, cpu))
+                if len(arrivals) == n_cpus:
+                    release = max(at for at, _ in arrivals) + barrier_cost
+                    for at, c2 in arrivals:
+                        nodes[c2].stats.barrier_wait_cycles += release - at
+                        heapq.heappush(heap, (release, c2))
+                    pushes += n_cpus
+                    del barrier_arrivals[ident]
+                    self.machine.stats.barriers_crossed += 1
+
+        if barrier_arrivals:
+            waiting = sorted(barrier_arrivals)
+            raise TraceError(
+                f"deadlock: barriers {waiting[:4]} never completed "
+                "(some trace ended before reaching them)"
+            )
+
+        # Every pop is its own "drain" of at most one reference.
+        self.sched_stats = {
+            "refs": refs,
+            "heap_pops": pops,
+            "heap_pushes": pushes,
+            "drains": pops,
+        }
+        machine = self.machine
+        return SimulationResult(
+            config=self.config,
+            exec_cycles=max(finish) if finish else 0,
+            cpu_finish_times=finish,
+            stats=machine.stats,
+            refetch_counts=machine.refetch_counts,
+            rw_shared_pages=frozenset(machine.read_write_shared_pages()),
+            remote_pages_touched=len(machine.page_requesters),
+        )
+
+
+def simulate_reference(
+    config: SystemConfig,
+    traces: Sequence[Sequence[object]],
+    homes: Optional[Dict[int, int]] = None,
+) -> SimulationResult:
+    """Run the reference scheduler; the differential-testing oracle."""
+    return ReferenceEngine(config, traces, homes).run()

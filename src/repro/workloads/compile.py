@@ -25,6 +25,7 @@ from repro.common.records import (
     ADDR_SHIFT,
     TraceView,
     as_columns,
+    column_profile,
     validate_barrier_sequences,
 )
 
@@ -79,6 +80,7 @@ class CompiledProgram:
         self._views: Optional[List[TraceView]] = None
         #: (nodes, cpus_per_node, page_shift) -> first-touch page->home map
         self._homes_cache: Dict[Tuple[int, int, int], Dict[int, int]] = {}
+        self._profile: Optional[List[Tuple[int, int, int]]] = None
 
     # -- identity ------------------------------------------------------
 
@@ -123,6 +125,40 @@ class CompiledProgram:
         for column in self.columns:
             pages.update(word >> shift for word in column if word >= 0)
         return pages
+
+    def per_cpu_profile(self) -> List[Tuple[int, int, int]]:
+        """Per-CPU ``(accesses, think_cycles, runs)`` triples, memoized.
+
+        ``accesses`` and ``think_cycles`` let the engine account L1-hit
+        and busy counters analytically (a completed run executes every
+        access exactly once, and every access contributes
+        ``think + 1`` busy cycles whether it hits or misses), so the
+        hot loop carries no per-reference stats work at all.  ``runs``
+        is the number of barrier-free access stretches — the upper
+        bound on how far the run-ahead scheduler could drain this CPU
+        if no other CPU ever intervened.  One pass per program
+        lifetime; shared by every protocol of a sweep.
+        """
+        if self._profile is None:
+            self._profile = [column_profile(c) for c in self.columns]
+        return self._profile
+
+    def run_length_stats(self) -> Dict[str, float]:
+        """Summary of the per-CPU run structure (``trace-stats`` output).
+
+        ``mean_run_length`` is accesses per barrier-free stretch — how
+        much uninterrupted work a CPU has between synchronization
+        points, the trace-side ceiling on run-ahead scheduling.
+        """
+        profile = self.per_cpu_profile()
+        runs = sum(r for _, _, r in profile)
+        accesses = self._total_accesses
+        think = sum(th for _, th, _ in profile)
+        return {
+            "runs": runs,
+            "mean_run_length": accesses / runs if runs else 0.0,
+            "mean_think_cycles": think / accesses if accesses else 0.0,
+        }
 
     def first_touch_homes(
         self, machine: MachineParams, space: AddressSpace

@@ -287,3 +287,60 @@ class TestFineGrainTags:
         tags.map_page(1)
         with pytest.raises(ProtocolError):
             tags.set(1, 0, 42)
+
+
+class TestArrayBackedLayout:
+    """PR-3 invariants: the engine's hot loop reads the raw buffers, so
+    their layout and identity are contract, not implementation detail."""
+
+    def test_l1_buffers_are_preallocated_and_stable(self):
+        from array import array
+
+        l1 = L1Cache(4)
+        blocks, states = l1.block_at, l1.state_at
+        assert isinstance(blocks, array) and blocks.typecode == "q"
+        assert isinstance(states, bytearray)
+        assert list(blocks) == [-1] * 4 and bytes(states) == b"\x00" * 4
+        l1.insert(5, MODIFIED)
+        l1.invalidate(5)
+        # Mutations happen in place: the engine hoists these buffers
+        # into locals for a whole run.
+        assert l1.block_at is blocks and l1.state_at is states
+
+    def test_l1_empty_set_has_invalid_state(self):
+        # The sentinel invariant the inlined hit check relies on:
+        # block_at[i] == -1  <=>  state_at[i] == INVALID.
+        l1 = L1Cache(4)
+        l1.insert(2, MODIFIED)
+        l1.invalidate(2)
+        assert l1.block_at[2] == -1
+        assert l1.state_at[2] == INVALID
+        l1.insert(6, OWNED)
+        l1.set_state(6, INVALID)
+        assert l1.block_at[2] == -1
+        assert l1.state_at[2] == INVALID
+
+    def test_l1_len_counts_resident_lines_only(self):
+        l1 = L1Cache(8)
+        assert len(l1) == 0
+        l1.insert(1, SHARED)
+        l1.insert(9, MODIFIED)  # evicts 1 (same set)
+        l1.insert(2, SHARED)
+        assert len(l1) == 2
+
+    def test_finegrain_tags_reject_out_of_range_offsets(self):
+        tags = FineGrainTags(8)
+        tags.map_page(1)
+        with pytest.raises(IndexError):
+            tags.set(1, 8, BLOCK_READONLY)
+        with pytest.raises(IndexError):
+            tags.get(1, 8)
+
+    def test_finegrain_valid_count_after_mixed_ops(self):
+        tags = FineGrainTags(4)
+        tags.map_page(7)
+        for off in range(4):
+            tags.set(7, off, BLOCK_WRITABLE)
+        tags.set(7, 1, BLOCK_INVALID)
+        assert tags.valid_count(7) == 3
+        assert tags.valid_offsets(7) == [0, 2, 3]

@@ -349,3 +349,46 @@ class TestCrossProtocolReuse:
         assert back_program._homes_cache == program._homes_cache
         result = simulate(back_config, back_program)
         assert result.exec_cycles > 0
+
+
+class TestPerCpuProfile:
+    def test_profile_counts_accesses_think_and_runs(self):
+        from repro.workloads.compile import CompiledProgram
+
+        traces = [
+            [Access(0, think=3), Access(64, think=2), Barrier(0),
+             Access(128, think=5)],
+            [Barrier(0), Access(0, think=1)],
+        ]
+        program = CompiledProgram("profiled", traces=traces)
+        profile = program.per_cpu_profile()
+        assert profile[0] == (3, 10, 2)  # two barrier-free stretches
+        assert profile[1] == (1, 1, 1)   # leading barrier: one stretch
+        # Memoized: the same list object comes back.
+        assert program.per_cpu_profile() is profile
+
+    def test_run_length_stats_summary(self):
+        from repro.workloads.compile import CompiledProgram
+
+        traces = [
+            [Access(0)] * 4 + [Barrier(0)] + [Access(0)] * 2,
+            [Access(0)] * 3 + [Barrier(0)] + [Access(0)] * 3,
+        ]
+        program = CompiledProgram("runs", traces=traces)
+        stats = program.run_length_stats()
+        assert stats["runs"] == 4
+        assert stats["mean_run_length"] == pytest.approx(3.0)
+
+    def test_engine_uses_program_profile_for_busy_cycles(self):
+        # busy_cycles must equal sum(think + 1) over the node's
+        # accesses whichever accounting path computed it.
+        from tests.conftest import tiny_config
+
+        config = tiny_config("ccnuma")
+        traces = [
+            [Access(0, think=3), Access(64, think=0)],
+            [Access(512, think=7)],
+        ]
+        result = simulate(config, traces, {0: 0, 1: 1})
+        assert result.stats.node(0).busy_cycles == (3 + 1) + (0 + 1)
+        assert result.stats.node(1).busy_cycles == 7 + 1
