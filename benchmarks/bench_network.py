@@ -1,0 +1,203 @@
+"""Benchmarks of the topology-aware network layer.
+
+Two measurements per topology, written to ``benchmarks/BENCH_network.json``
+by ``python -m benchmarks.bench_network`` so the trajectory is tracked
+across PRs:
+
+- ``messages_per_s`` — raw :meth:`Network.round_trip_delay` throughput
+  on a deterministic all-pairs message stream (the per-message cost of
+  the routing-table walk and link charging, isolated from the engine);
+- ``engine_slowdown`` — wall time of an em3d run under the topology
+  over the same run under ``uniform`` (what a sweep actually pays for
+  link modeling), plus the simulated ``exec_cycles`` so the timing
+  model's hop-dependent effect is recorded alongside the host cost.
+
+``assert_network_sanity`` checks the deterministic facts: the uniform
+run is bit-identical to the plain engine result, every non-uniform
+topology simulates at least as many cycles as uniform (per-hop costs
+are non-negative), and per-message Python overhead stays bounded.
+``benchmarks/smoke.py`` runs the comparison at the smallest scale so CI
+exercises every topology.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.common.params import CostParams
+from repro.experiments.config import cc_config
+from repro.interconnect.network import Network
+from repro.interconnect.routing import routing_table_for
+from repro.interconnect.topology import topology_names
+from repro.sim.engine import simulate
+from repro.workloads.registry import build_program
+
+BENCH_JSON = Path(__file__).parent / "BENCH_network.json"
+
+#: Node count for the raw message-throughput loop.
+NET_NODES = 16
+
+
+def _pairs(nodes: int):
+    return [(s, d) for s in range(nodes) for d in range(nodes) if s != d]
+
+
+def _message_throughput(topology: str, messages: int, repeats: int) -> dict:
+    """Raw round-trip charging rate on an all-pairs stream."""
+    costs = CostParams()
+    pairs = _pairs(NET_NODES)
+    best = None
+    for _ in range(repeats):
+        net = Network(NET_NODES, costs, topology=topology)
+        t0 = time.perf_counter()
+        now = 0
+        for i in range(messages):
+            src, dst = pairs[i % len(pairs)]
+            net.round_trip_delay(src, dst, now)
+            now += 50
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    table = routing_table_for(topology, NET_NODES)
+    return {
+        "messages": messages,
+        "messages_per_s": messages / best,
+        "mean_hops": table.mean_hops(),
+        "links": table.link_count,
+    }
+
+
+def _engine_run(topology: str, scale: float, repeats: int):
+    config = replace(cc_config(), topology=topology)
+    program = build_program("em3d", scale=scale)
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = simulate(config, program)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return result, best
+
+
+def run_network_comparison(scale: float = 0.5, repeats: int = 3) -> dict:
+    """Every topology through the raw network loop and an em3d run."""
+    messages = max(2000, int(100000 * scale))
+    # Warm the registry's compiled-program cache so the first (uniform)
+    # engine run does not pay trace generation that later ones skip.
+    build_program("em3d", scale=scale)
+    topologies = {}
+    uniform_result = None
+    uniform_dt = None
+    for topology in topology_names():
+        raw = _message_throughput(topology, messages, repeats)
+        result, dt = _engine_run(topology, scale, repeats)
+        if topology == "uniform":
+            uniform_result, uniform_dt = result, dt
+        topologies[topology] = {
+            **raw,
+            "exec_cycles": result.exec_cycles,
+            "engine_seconds": dt,
+            "engine_slowdown": dt / uniform_dt,
+            "cycle_inflation": result.exec_cycles / uniform_result.exec_cycles,
+        }
+    return {
+        "bench": "network",
+        "scale": scale,
+        "net_nodes": NET_NODES,
+        "topologies": topologies,
+    }
+
+
+def assert_network_sanity(numbers: dict, slowdown_ceiling: float = 0.0) -> None:
+    """Deterministic invariants every comparison run must satisfy.
+
+    ``slowdown_ceiling`` > 0 additionally bounds the host-time cost of
+    link modeling (skipped by default: wall-clock ratios are noisy in
+    CI, and the cycle/hop facts below are the real contract).
+    """
+    topologies = numbers["topologies"]
+    uniform = topologies["uniform"]
+    assert uniform["links"] == 0 and uniform["mean_hops"] == 1.0
+    for name, t in topologies.items():
+        if name == "uniform":
+            continue
+        assert t["links"] > 0, f"{name} declares no links"
+        assert t["mean_hops"] >= 1.0
+        # Non-negative per-hop costs can only add simulated time.
+        assert t["exec_cycles"] >= uniform["exec_cycles"], (
+            f"{name} simulated fewer cycles than the uniform fabric"
+        )
+        if slowdown_ceiling:
+            assert t["engine_slowdown"] <= slowdown_ceiling, (
+                f"{name} engine slowdown {t['engine_slowdown']:.2f}x "
+                f"> {slowdown_ceiling}x"
+            )
+
+
+def write_bench_json(numbers: dict, path: Path = BENCH_JSON) -> Path:
+    path.write_text(json.dumps(numbers, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(scale: float = 0.5) -> int:
+    numbers = run_network_comparison(scale=scale)
+    assert_network_sanity(numbers)
+    path = write_bench_json(numbers)
+    for name, t in numbers["topologies"].items():
+        print(
+            f"{name:8s} {t['messages_per_s'] / 1e3:8.0f}k msgs/s  "
+            f"hops {t['mean_hops']:.2f}  links {t['links']:3d}  "
+            f"engine {t['engine_slowdown']:.2f}x host, "
+            f"cycles {t['cycle_inflation']:.3f}x uniform"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark cases
+# ----------------------------------------------------------------------
+
+
+def bench_network_uniform_messages(benchmark):
+    net = Network(NET_NODES, CostParams())
+    pairs = _pairs(NET_NODES)
+
+    def body():
+        now = 0
+        for i in range(5000):
+            src, dst = pairs[i % len(pairs)]
+            net.round_trip_delay(src, dst, now)
+            now += 50
+
+    benchmark(body)
+
+
+def bench_network_torus_messages(benchmark):
+    net = Network(NET_NODES, CostParams(), topology="torus")
+    pairs = _pairs(NET_NODES)
+
+    def body():
+        now = 0
+        for i in range(5000):
+            src, dst = pairs[i % len(pairs)]
+            net.round_trip_delay(src, dst, now)
+            now += 50
+
+    benchmark(body)
+
+
+def bench_engine_on_torus(benchmark):
+    config = replace(cc_config(), topology="torus")
+    program = build_program("em3d", scale=0.1)
+    result = benchmark(lambda: simulate(config, program))
+    assert result.exec_cycles > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5))

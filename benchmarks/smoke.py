@@ -64,6 +64,21 @@ def main() -> int:
         f"heap ops/ref {serial['heap_ops_per_ref']:.4f}, "
         f"mean run {serial['mean_run_length']:.0f}"
     )
+
+    # Every interconnect topology at the smallest scale: the uniform
+    # fabric must stay free and every non-uniform one must add cycles.
+    from benchmarks.bench_network import (
+        assert_network_sanity,
+        run_network_comparison,
+    )
+
+    numbers = run_network_comparison(scale=0.05, repeats=1)
+    assert_network_sanity(numbers)
+    for name, t in numbers["topologies"].items():
+        print(
+            f"network ok  {name:8s} {t['messages_per_s'] / 1e3:7.0f}k msgs/s  "
+            f"cycles {t['cycle_inflation']:.3f}x uniform"
+        )
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.common.params import (
     ideal_config,
 )
 from repro.common.records import Access, Barrier, TraceView
+from repro.interconnect.topology import make_topology, topology_names
 from repro.model.competitive import (
     CompetitiveModel,
     ModelParameters,
@@ -66,8 +67,10 @@ __all__ = [
     "base_scoma_config",
     "build_program",
     "ideal_config",
+    "make_topology",
     "optimal_threshold",
     "simulate",
+    "topology_names",
     "workload_names",
     "worst_case_bound",
     "__version__",

@@ -4,8 +4,12 @@ Commands
 --------
 ``list``
     Show the workload suite (Table 3).
+``topologies``
+    Show the interconnect topologies (links, mean/max hops per size).
 ``run APP``
-    Simulate one application under one or all protocols.
+    Simulate one application under one or all protocols, optionally on
+    a non-uniform interconnect topology (``--topology``,
+    ``--link-latency``, ``--link-occupancy``).
 ``trace-stats APP``
     Inspect an application's compiled trace: per-CPU reference counts,
     barriers, pages touched, and the packed-buffer footprint.
@@ -17,15 +21,17 @@ Commands
     Run one of the design-choice ablations.
 ``reproduce``
     Regenerate every figure and table (plus the ablations and the
-    cluster-size extension) in one deduplicated sweep, fanned out over
-    ``--jobs`` worker processes and backed by the persistent result
-    store, so a second invocation does near-zero simulation work.
+    cluster-size and topology extensions) in one deduplicated sweep,
+    fanned out over ``--jobs`` worker processes and backed by the
+    persistent result store, so a second invocation does near-zero
+    simulation work.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
@@ -47,6 +53,7 @@ from repro.experiments import (
     compute_replacement_ablation,
     compute_scaling,
     compute_table4,
+    compute_topology_scaling,
     figure5_jobs,
     figure6_jobs,
     figure7_jobs,
@@ -63,14 +70,18 @@ from repro.experiments import (
     format_table2,
     format_table3,
     format_table4,
+    format_topology_scaling,
     placement_ablation_jobs,
     relocation_ablation_jobs,
     replacement_ablation_jobs,
     scaling_jobs,
     table4_jobs,
+    topology_scaling_jobs,
 )
 from repro.experiments.executor import Executor, ResultStore, default_store_dir
 from repro.experiments.runner import ResultCache
+from repro.interconnect.routing import routing_table_for
+from repro.interconnect.topology import TOPOLOGIES, topology_names
 from repro.sim.engine import simulate
 from repro.workloads.registry import APPLICATIONS, build_program, workload_names
 
@@ -146,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="show the workload suite (Table 3)")
 
+    topo_p = sub.add_parser(
+        "topologies", help="show the interconnect topologies"
+    )
+    topo_p.add_argument(
+        "--nodes",
+        type=_positive_int,
+        nargs="*",
+        default=[4, 8, 16],
+        help="node counts to tabulate hop statistics for (default: 4 8 16)",
+    )
+
     run_p = sub.add_parser("run", help="simulate one application")
     run_p.add_argument("app", choices=workload_names())
     run_p.add_argument(
@@ -156,6 +178,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument(
         "--threshold", type=int, default=64, help="R-NUMA relocation threshold"
+    )
+    run_p.add_argument(
+        "--topology",
+        choices=topology_names(),
+        default="uniform",
+        help="interconnect topology (default: uniform, the paper's fabric)",
+    )
+    run_p.add_argument(
+        "--link-latency",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="per-hop link latency on non-uniform topologies",
+    )
+    run_p.add_argument(
+        "--link-occupancy",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="per-link busy time on non-uniform topologies",
     )
 
     ts_p = sub.add_parser(
@@ -203,10 +245,41 @@ def _cmd_list() -> None:
         print(f"{name:<12} {problem:<42} {paper_input}")
 
 
+def _cmd_topologies(args: argparse.Namespace) -> None:
+    print(f"{'topology':<9} description")
+    for name, cls in TOPOLOGIES.items():
+        print(f"{name:<9} {cls.description}")
+    print()
+    header = f"{'topology':<9} {'nodes':>5} {'links':>5} {'mean hops':>9} {'max hops':>8}"
+    print(header)
+    for name in TOPOLOGIES:
+        for nodes in args.nodes:
+            table = routing_table_for(name, nodes)
+            print(
+                f"{name:<9} {nodes:>5} {table.link_count:>5} "
+                f"{table.mean_hops():>9.2f} {table.max_hops():>8}"
+            )
+
+
+def _run_config_overrides(args: argparse.Namespace, config):
+    """Apply the interconnect knobs of ``run`` to a protocol config."""
+    if args.topology != "uniform":
+        config = replace(config, topology=args.topology)
+    costs = config.costs
+    if args.link_latency is not None:
+        costs = replace(costs, link_latency=args.link_latency)
+    if args.link_occupancy is not None:
+        costs = replace(costs, link_occupancy=args.link_occupancy)
+    if costs is not config.costs:
+        config = replace(config, costs=costs)
+    return config
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     program = build_program(args.app, scale=args.scale)
+    fabric = "" if args.topology == "uniform" else f" on {args.topology}"
     print(f"{args.app}: {program.scaled_input} "
-          f"({program.total_accesses} accesses)\n")
+          f"({program.total_accesses} accesses){fabric}\n")
     names = (
         list(_PROTOCOL_CONFIGS) if args.protocol == "all" else [args.protocol]
     )
@@ -216,6 +289,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
             config = base_rnuma_config(threshold=args.threshold)
         else:
             config = _PROTOCOL_CONFIGS[name]()
+        config = _run_config_overrides(args, config)
         result = simulate(config, program)
         if baseline is None:
             baseline = result
@@ -295,6 +369,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
     for jobs_fn, _ in _ABLATIONS.values():
         jobs += jobs_fn(scale, apps)
     jobs += scaling_jobs(scale, apps)
+    jobs += topology_scaling_jobs(scale, apps)
     unique = len({job.key for job in jobs})
     print(
         f"reproduce: {len(jobs)} simulations, {unique} unique after "
@@ -342,6 +417,11 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
     sections.append(
         format_scaling(compute_scaling(scale=scale, apps=apps, executor=executor))
     )
+    sections.append(
+        format_topology_scaling(
+            compute_topology_scaling(scale=scale, apps=apps, executor=executor)
+        )
+    )
     print("\n\n".join(sections))
     # Render-phase cache misses may hit the store too; keep that I/O in
     # the store row, not the render row.
@@ -365,6 +445,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         _cmd_list()
+    elif args.command == "topologies":
+        _cmd_topologies(args)
     elif args.command == "run":
         _cmd_run(args)
     elif args.command == "trace-stats":

@@ -58,6 +58,15 @@ class CostParams:
     local_fill: int = 69
     remote_fetch: int = 376
     network_latency: int = 100
+    # Per-hop fabric costs, charged only on non-uniform topologies
+    # (the paper's uniform point-to-point fabric has no internal links,
+    # so these never touch a paper reproduction): each link on a
+    # message's route adds link_latency cycles of wire time and holds
+    # the link busy for link_occupancy cycles.  Defaults are a
+    # plausible pipelined-router point — a ~5-hop route roughly
+    # doubles the 100-cycle base wire latency.
+    link_latency: int = 20
+    link_occupancy: int = 8
 
     soft_trap: int = 2000
     tlb_shootdown: int = 200
@@ -79,6 +88,8 @@ class CostParams:
             "dram_access",
             "local_fill",
             "remote_fetch",
+            "link_latency",
+            "link_occupancy",
             "soft_trap",
             "tlb_shootdown",
             "page_setup",
@@ -197,6 +208,14 @@ class SystemConfig:
     - ``"rnuma"``   — reactive hybrid (Section 3)
     - ``"ideal"``   — CC-NUMA with an infinite block cache, the
       normalization baseline of every figure in the paper.
+
+    ``topology`` selects the inter-node fabric shape (see
+    :mod:`repro.interconnect.topology`).  ``"uniform"`` — the paper's
+    constant-latency point-to-point network — is the default and is
+    bit-identical to the pre-topology model; ``"ring"``, ``"mesh"``,
+    ``"torus"``, and ``"fattree"`` add hop-dependent latency and
+    per-link contention governed by ``costs.link_latency`` /
+    ``costs.link_occupancy``.
     """
 
     protocol: str = "rnuma"
@@ -204,6 +223,7 @@ class SystemConfig:
     caches: CacheParams = field(default_factory=CacheParams)
     costs: CostParams = field(default_factory=CostParams)
     space: AddressSpace = field(default_factory=AddressSpace)
+    topology: str = "uniform"
     relocation_threshold: int = 64
     #: R-NUMA relocation implementation (Section 3.2's two designs):
     #: "local" — an aggressive implementation moves the blocks the node
@@ -213,6 +233,10 @@ class SystemConfig:
     relocation_mode: str = "local"
 
     _PROTOCOLS = ("ccnuma", "scoma", "rnuma", "ideal")
+    # Mirrors repro.interconnect.topology.TOPOLOGIES (params cannot
+    # import it without a package-init cycle); tests/test_topology.py
+    # asserts the two stay in sync.
+    _TOPOLOGIES = ("uniform", "ring", "mesh", "torus", "fattree")
     _RELOCATION_MODES = ("local", "flush")
 
     def __post_init__(self) -> None:
@@ -220,6 +244,11 @@ class SystemConfig:
             raise ConfigurationError(
                 f"unknown protocol {self.protocol!r}; "
                 f"expected one of {self._PROTOCOLS}"
+            )
+        if self.topology not in self._TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}; "
+                f"expected one of {self._TOPOLOGIES}"
             )
         if self.relocation_threshold <= 0:
             raise ConfigurationError("relocation_threshold must be positive")
@@ -279,6 +308,8 @@ def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
         caches=CacheParams(**data["caches"]),
         costs=CostParams(**data["costs"]),
         space=AddressSpace(**data["space"]),
+        # Absent in payloads serialized before the topology subsystem.
+        topology=data.get("topology", "uniform"),
         relocation_threshold=data["relocation_threshold"],
         relocation_mode=data["relocation_mode"],
     )

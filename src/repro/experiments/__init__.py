@@ -45,6 +45,11 @@ from repro.experiments.extension_scaling import (
     format_scaling,
     scaling_jobs,
 )
+from repro.experiments.topology_scaling import (
+    compute_topology_scaling,
+    format_topology_scaling,
+    topology_scaling_jobs,
+)
 from repro.experiments.figure5 import compute_figure5, figure5_jobs, format_figure5
 from repro.experiments.figure6 import compute_figure6, figure6_jobs, format_figure6
 from repro.experiments.figure7 import compute_figure7, figure7_jobs, format_figure7
@@ -71,11 +76,13 @@ __all__ = [
     "compute_relocation_ablation",
     "compute_replacement_ablation",
     "compute_scaling",
+    "compute_topology_scaling",
     "default_cache",
     "default_store_dir",
     "ensure_executor",
     "format_ablation",
     "format_scaling",
+    "format_topology_scaling",
     "compute_figure6",
     "compute_figure7",
     "compute_figure8",
@@ -106,4 +113,5 @@ __all__ = [
     "scoma_config",
     "set_default_cache",
     "table4_jobs",
+    "topology_scaling_jobs",
 ]

@@ -46,7 +46,10 @@ from repro.workloads.registry import build_program
 #: (engine timing changes, counter semantics, serialization layout).
 #: v2: L1 write-back network contention is charged at the current cycle
 #: instead of time zero.
-STORE_SCHEMA_VERSION = 2
+#: v3: configuration identity grew the interconnect-topology knobs
+#: (SystemConfig.topology, CostParams.link_latency/link_occupancy);
+#: pre-topology entries no longer match any run key.
+STORE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_STORE_DIR"

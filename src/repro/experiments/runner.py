@@ -31,6 +31,7 @@ def config_key(config: SystemConfig) -> Tuple:
         config.costs,
         config.space.block_size,
         config.space.page_size,
+        config.topology,
         config.relocation_threshold,
         config.relocation_mode,
     )

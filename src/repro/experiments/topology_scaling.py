@@ -1,0 +1,164 @@
+"""Extension experiment: interconnect-topology sensitivity.
+
+Not a figure in the paper — Falsafi & Wood hold the fabric fixed at an
+idealized 100-cycle point-to-point network with no internal contention.
+This experiment varies that assumption along two axes the paper never
+explores: the topology (uniform / ring / mesh / torus / fattree, see
+:mod:`repro.interconnect.topology`) and the node count, with per-hop
+link latency and busy-until link occupancy charged along each message's
+precomputed route.
+
+The question it answers: does R-NUMA's stability claim — track the
+better of CC-NUMA and S-COMA everywhere — survive a fabric where
+remote misses are no longer all equally expensive?  Hop-dependent
+latency penalizes CC-NUMA's many cheap misses more than S-COMA's few
+expensive page operations, so the protocol gap *shifts* with topology;
+normalization against the uniform-fabric ideal machine at the same
+node count makes the shift visible in the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.params import MachineParams
+from repro.experiments.config import cc_config, ideal, rnuma_config, scoma_config
+from repro.experiments.executor import Executor, Job, ensure_executor
+from repro.experiments.reporting import render_table
+from repro.experiments.runner import ResultCache
+from repro.interconnect.routing import routing_table_for
+from repro.interconnect.topology import topology_names
+
+DEFAULT_TOPOLOGY_APPS = ("em3d", "moldyn")
+TOPOLOGY_NODE_COUNTS = (4, 8, 16)
+PROTOCOLS = ("CC-NUMA", "S-COMA", "R-NUMA")
+
+
+@dataclass
+class TopologyScalingResult:
+    """normalized[(app, topology, nodes)][protocol] = exec time vs the
+    uniform-fabric ideal machine at that node count."""
+
+    normalized: Dict[Tuple[str, str, int], Dict[str, float]] = field(
+        default_factory=dict
+    )
+    topologies: Sequence[str] = ()
+    node_counts: Sequence[int] = TOPOLOGY_NODE_COUNTS
+
+    def mean_hops(self, topology: str, nodes: int) -> float:
+        return routing_table_for(topology, nodes).mean_hops()
+
+    def rnuma_vs_best(self, app: str, topology: str, nodes: int) -> float:
+        row = self.normalized[(app, topology, nodes)]
+        return row["R-NUMA"] / min(row["CC-NUMA"], row["S-COMA"])
+
+    def slowdown_vs_uniform(
+        self, app: str, topology: str, nodes: int, protocol: str
+    ) -> float:
+        """How much the fabric itself costs ``protocol`` on this app:
+        normalized time under ``topology`` over normalized time under
+        ``uniform`` (both against the same uniform ideal baseline)."""
+        return (
+            self.normalized[(app, topology, nodes)][protocol]
+            / self.normalized[(app, "uniform", nodes)][protocol]
+        )
+
+    def stability_bound(self) -> float:
+        """R-NUMA's worst slowdown vs the best protocol over every
+        (app, topology, size) point of the sweep."""
+        return max(self.rnuma_vs_best(*key) for key in self.normalized)
+
+
+def _topology_configs(topology: str, nodes: int):
+    machine = MachineParams(nodes=nodes, cpus_per_node=4)
+    return {
+        "CC-NUMA": replace(cc_config(), machine=machine, topology=topology),
+        "S-COMA": replace(scoma_config(), machine=machine, topology=topology),
+        "R-NUMA": replace(rnuma_config(), machine=machine, topology=topology),
+    }
+
+
+def _baseline_config(nodes: int):
+    """The uniform-fabric ideal machine: normalizing against it at each
+    node count isolates what the topology adds (and coincides with the
+    cluster-size extension's baseline, so the job dedups across both
+    sweeps)."""
+    return replace(ideal(), machine=MachineParams(nodes=nodes, cpus_per_node=4))
+
+
+def topology_scaling_jobs(
+    scale: float = 1.0,
+    apps: Optional[Sequence[str]] = None,
+    topologies: Optional[Sequence[str]] = None,
+    node_counts: Sequence[int] = TOPOLOGY_NODE_COUNTS,
+) -> List[Job]:
+    apps = list(apps or DEFAULT_TOPOLOGY_APPS)
+    topologies = list(topologies or topology_names())
+    jobs = []
+    for nodes in node_counts:
+        base_cfg = _baseline_config(nodes)
+        for app in apps:
+            jobs.append(Job(app, base_cfg, scale))
+        for topology in topologies:
+            configs = _topology_configs(topology, nodes)
+            for app in apps:
+                jobs.extend(Job(app, cfg, scale) for cfg in configs.values())
+    return jobs
+
+
+def compute_topology_scaling(
+    scale: float = 1.0,
+    apps: Optional[Sequence[str]] = None,
+    cache: Optional[ResultCache] = None,
+    topologies: Optional[Sequence[str]] = None,
+    node_counts: Sequence[int] = TOPOLOGY_NODE_COUNTS,
+    executor: Optional[Executor] = None,
+) -> TopologyScalingResult:
+    apps = list(apps or DEFAULT_TOPOLOGY_APPS)
+    topologies = list(topologies or topology_names())
+    exe = ensure_executor(executor, cache)
+    exe.run(topology_scaling_jobs(scale, apps, topologies, node_counts))
+    out = TopologyScalingResult(
+        topologies=tuple(topologies), node_counts=tuple(node_counts)
+    )
+    for nodes in node_counts:
+        base_cfg = _baseline_config(nodes)
+        for topology in topologies:
+            configs = _topology_configs(topology, nodes)
+            for app in apps:
+                base = exe.run_app(app, base_cfg, scale=scale)
+                out.normalized[(app, topology, nodes)] = {
+                    name: exe.run_app(app, cfg, scale=scale).normalized_to(base)
+                    for name, cfg in configs.items()
+                }
+    return out
+
+
+def format_topology_scaling(result: TopologyScalingResult) -> str:
+    headers = (
+        ["app", "topology", "nodes", "hops"]
+        + list(PROTOCOLS)
+        + ["R vs best"]
+    )
+    # Sort by (app, nodes) with topologies in registry order, so each
+    # app/size group reads as one fabric comparison.
+    order = {name: i for i, name in enumerate(result.topologies)}
+    rows = []
+    for (app, topology, nodes) in sorted(
+        result.normalized, key=lambda k: (k[0], k[2], order.get(k[1], 99))
+    ):
+        row = result.normalized[(app, topology, nodes)]
+        rows.append(
+            [app, topology, nodes, result.mean_hops(topology, nodes)]
+            + [row[p] for p in PROTOCOLS]
+            + [result.rnuma_vs_best(app, topology, nodes)]
+        )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            "Extension: topology sensitivity (per-hop link latency + link "
+            "contention; normalized per-size to the uniform-fabric ideal)"
+        ),
+    )

@@ -1,15 +1,38 @@
 """Interconnect timing: the split-transaction memory bus inside each node,
 the network interface / remote-access-device occupancy, and the
-point-to-point network.
+topology-aware inter-node network.
 
 Contention is modeled with busy-until resources: a transaction arriving
 at time *t* waits until the resource frees, occupies it for a fixed
 occupancy, and the wait is added to the requester's latency.  This is the
 level of detail the paper models ("we model contention at the memory bus
 ... and at the network interfaces", Section 4).
+
+The fabric itself is pluggable (:mod:`repro.interconnect.topology`):
+the default ``uniform`` topology reproduces the paper's idealized
+constant-latency point-to-point network exactly, while ``ring`` /
+``mesh`` / ``torus`` / ``fattree`` route each message along a
+precomputed link path (:mod:`repro.interconnect.routing`) and charge
+per-hop latency plus per-link busy-until occupancy.
 """
 
 from repro.interconnect.network import Network
 from repro.interconnect.resource import BusyResource
+from repro.interconnect.routing import RoutingTable, routing_table_for
+from repro.interconnect.topology import (
+    TOPOLOGIES,
+    Topology,
+    make_topology,
+    topology_names,
+)
 
-__all__ = ["BusyResource", "Network"]
+__all__ = [
+    "BusyResource",
+    "Network",
+    "RoutingTable",
+    "TOPOLOGIES",
+    "Topology",
+    "make_topology",
+    "routing_table_for",
+    "topology_names",
+]

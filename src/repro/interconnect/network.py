@@ -1,10 +1,21 @@
-"""Point-to-point inter-node network.
+"""Topology-aware inter-node network.
 
 The paper assumes a constant-latency (100 cycle) point-to-point network
 and models contention at the network interfaces, not inside the fabric.
 ``Network`` owns one :class:`BusyResource` per node for the NI and one
 for the home protocol controller (RAD), and computes the end-to-end
 delay of a request/response round trip.
+
+Since the topology subsystem (:mod:`repro.interconnect.topology` /
+:mod:`repro.interconnect.routing`) the fabric itself is pluggable: a
+non-uniform topology adds one :class:`BusyResource` per directed link
+and charges each message hop latency (``costs.link_latency``) plus
+link occupancy (``costs.link_occupancy``) along its precomputed route.
+The route is a flat slice of link ids out of the memoized
+:class:`~repro.interconnect.routing.RoutingTable` — zero per-message
+graph work.  The default ``uniform`` topology has no internal links,
+so its per-message arithmetic is *exactly* the paper's fixed-latency
+model, bit for bit.
 """
 
 from __future__ import annotations
@@ -14,48 +25,111 @@ from typing import List
 from repro.common.errors import ConfigurationError
 from repro.common.params import CostParams
 from repro.interconnect.resource import BusyResource
+from repro.interconnect.routing import RoutingTable, routing_table_for
 
 
 class Network:
-    """Fixed-latency fabric with per-node NI and RAD occupancy."""
+    """Fabric with per-node NI/RAD occupancy and per-link contention."""
 
-    __slots__ = ("nodes", "latency", "_costs", "nis", "rads", "messages")
+    __slots__ = (
+        "nodes",
+        "latency",
+        "topology",
+        "routing",
+        "_costs",
+        "nis",
+        "rads",
+        "links",
+        "messages",
+        "round_trips",
+        "one_ways",
+    )
 
-    def __init__(self, nodes: int, costs: CostParams) -> None:
+    def __init__(
+        self, nodes: int, costs: CostParams, topology: str = "uniform"
+    ) -> None:
         if nodes <= 0:
             raise ConfigurationError("network needs at least one node")
         self.nodes = nodes
         self.latency = costs.network_latency
+        self.topology = topology
+        self.routing: RoutingTable = routing_table_for(topology, nodes)
         self._costs = costs
         self.nis: List[BusyResource] = [BusyResource(f"ni{n}") for n in range(nodes)]
         self.rads: List[BusyResource] = [BusyResource(f"rad{n}") for n in range(nodes)]
+        self.links: List[BusyResource] = [
+            BusyResource(f"link{u}->{v}")
+            for u, v in self.routing.link_endpoints
+        ]
         self.messages = 0
+        self.round_trips = 0
+        self.one_ways = 0
+
+    def _traverse(self, src: int, dst: int, depart: int) -> int:
+        """Charge the request's links; returns its arrival time at
+        ``dst``'s wire endpoint (queueing + occupancy + hop latency
+        accumulate hop by hop).  No-op for directly wired pairs."""
+        routing = self.routing
+        pair = src * self.nodes + dst
+        start = routing.path_start
+        lo, hi = start[pair], start[pair + 1]
+        if lo == hi:
+            return depart
+        costs = self._costs
+        occ = costs.link_occupancy
+        hop = costs.link_latency
+        links = self.links
+        path = routing.path_links
+        t = depart
+        for i in range(lo, hi):
+            t += links[path[i]].acquire(t, occ) + occ + hop
+        return t
 
     def round_trip_delay(self, src: int, dst: int, now: int, extra_home_occupancy: int = 0) -> int:
         """Queueing delay for a request from ``src`` serviced at ``dst``.
 
         The fixed wire/service latency (2x network + DRAM etc.) is part
         of the caller's ``remote_fetch`` constant; this method returns
-        only the *added* contention delay and charges occupancy to the
-        source NI and the destination RAD.
+        only the *added* delay: NI/RAD/link queueing, plus — on a
+        non-uniform topology — the per-hop link latency and occupancy
+        the idealized constant-latency fabric does not pay.  Occupancy
+        is charged to the source NI, every link on the request route,
+        and the destination RAD.
         """
         self.messages += 1
+        self.round_trips += 1
         wait = self.nis[src].acquire(now, self._costs.ni_occupancy)
-        arrive = now + wait + self._costs.ni_occupancy + self.latency
+        depart = now + wait + self._costs.ni_occupancy
+        arrive = self._traverse(src, dst, depart) + self.latency
+        wait = arrive - self.latency - self._costs.ni_occupancy - now
         wait += self.rads[dst].acquire(
             arrive, self._costs.rad_occupancy + extra_home_occupancy
         )
         return wait
 
-    def one_way_delay(self, src: int, now: int) -> int:
+    def one_way_delay(self, src: int, now: int, dst: int = -1) -> int:
         """Contention delay for a fire-and-forget message (write-back,
-        flush): only the source NI is on the requester's critical path."""
+        flush): only the source NI is on the requester's critical path.
+
+        When the destination is known and the topology has internal
+        links, the message still occupies its route (back-pressure on
+        later traffic) — but off the critical path, so the links' wait
+        and hop latency are not part of the returned delay.
+        """
         self.messages += 1
-        return self.nis[src].acquire(now, self._costs.ni_occupancy)
+        self.one_ways += 1
+        wait = self.nis[src].acquire(now, self._costs.ni_occupancy)
+        if dst >= 0:
+            self._traverse(src, dst, now + wait + self._costs.ni_occupancy)
+        return wait
 
     def reset(self) -> None:
         for r in self.nis:
             r.reset()
         for r in self.rads:
             r.reset()
+        for r in self.links:
+            r.reset()
         self.messages = 0
+        self.round_trips = 0
+        self.one_ways = 0

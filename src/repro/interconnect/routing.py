@@ -1,0 +1,124 @@
+"""Flat routing tables precomputed from a topology.
+
+The simulation engine charges link contention per remote message, so
+route lookup sits on the miss path.  All the Python graph work —
+enumerating links, walking deterministic routes, assigning link ids —
+happens here *once* per (topology, node count); what the hot path sees
+is three flat ``array('q')`` buffers:
+
+``hops[src * nodes + dst]``
+    Hop count of the pair's route (0 on the diagonal; 1 for every
+    distinct pair of the uniform topology).
+
+``path_start`` / ``path_links``
+    CSR layout of the per-pair link-id sequences: pair index ``i``
+    traverses ``path_links[path_start[i] : path_start[i + 1]]``.  The
+    uniform topology has no internal links, so every slice is empty
+    and the network's per-message loop body never runs.
+
+Tables are pure immutable data (no resources, no clocks), so
+:func:`routing_table_for` memoizes them process-wide — a sweep that
+builds hundreds of ``Machine``s per topology pays for one table.
+"""
+
+from __future__ import annotations
+
+from array import array
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.interconnect.topology import Topology, make_topology
+
+
+class RoutingTable:
+    """Precomputed per-(src, dst) hop counts and link paths."""
+
+    __slots__ = (
+        "topology_name",
+        "nodes",
+        "link_count",
+        "link_endpoints",
+        "hops",
+        "path_start",
+        "path_links",
+    )
+
+    def __init__(self, topology: Topology) -> None:
+        n = topology.nodes
+        self.topology_name = topology.name
+        self.nodes = n
+        links = topology.links()
+        index = {}
+        for i, (u, v) in enumerate(links):
+            if (u, v) in index:
+                raise ConfigurationError(
+                    f"topology {topology.name!r} declares duplicate link {u}->{v}"
+                )
+            index[(u, v)] = i
+        self.link_count = len(links)
+        #: link id -> (u, v) vertex pair, for reporting and tests.
+        self.link_endpoints: List[Tuple[int, int]] = list(links)
+
+        hops = array("q", bytes(8 * n * n))
+        path_start = array("q", bytes(8 * (n * n + 1)))
+        path_links = array("q")
+        pos = 0
+        for src in range(n):
+            for dst in range(n):
+                pair = src * n + dst
+                path_start[pair] = pos
+                route = topology.route(src, dst)
+                if route[0] != src or route[-1] != dst:
+                    raise ConfigurationError(
+                        f"topology {topology.name!r} routed {src}->{dst} "
+                        f"as {route}"
+                    )
+                hops[pair] = len(route) - 1
+                if not index:
+                    # A topology with no internal links (uniform) is
+                    # directly wired: hop counts still come from the
+                    # routes, but there is nothing to occupy.
+                    continue
+                for u, v in zip(route, route[1:]):
+                    link = index.get((u, v))
+                    if link is None:
+                        raise ConfigurationError(
+                            f"topology {topology.name!r} route {src}->{dst} "
+                            f"uses undeclared link {u}->{v}"
+                        )
+                    path_links.append(link)
+                    pos += 1
+        path_start[n * n] = pos
+        self.hops = hops
+        self.path_start = path_start
+        self.path_links = path_links
+
+    def hop_count(self, src: int, dst: int) -> int:
+        return self.hops[src * self.nodes + dst]
+
+    def path(self, src: int, dst: int) -> List[int]:
+        """Link ids traversed src -> dst (empty when directly wired)."""
+        pair = src * self.nodes + dst
+        return list(self.path_links[self.path_start[pair]:self.path_start[pair + 1]])
+
+    def mean_hops(self) -> float:
+        """Mean hop count over distinct (src, dst) pairs."""
+        n = self.nodes
+        if n < 2:
+            return 0.0
+        total = sum(self.hops)  # diagonal contributes zero
+        return total / (n * (n - 1))
+
+    def max_hops(self) -> int:
+        return max(self.hops) if self.hops else 0
+
+
+@lru_cache(maxsize=None)
+def routing_table_for(topology: str, nodes: int) -> RoutingTable:
+    """The memoized routing table for a (topology name, node count).
+
+    Safe to share: tables are never mutated after construction, and
+    per-run state (link ``BusyResource``s) lives in the ``Network``.
+    """
+    return RoutingTable(make_topology(topology, nodes))

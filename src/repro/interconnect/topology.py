@@ -1,0 +1,258 @@
+"""Interconnect topologies: the shape of the inter-node fabric.
+
+The paper assumes an idealized constant-latency point-to-point network
+("uniform" here): every node pair is one direct hop and the fabric
+itself never congests.  This module generalizes that into a pluggable
+topology family so experiments can ask how the CC-NUMA / S-COMA /
+R-NUMA trade-offs shift when remote latency is hop-dependent and links
+carry occupancy:
+
+``uniform``
+    The paper's fabric: every pair is directly connected, no internal
+    links, no hop-dependent cost.  The default, and bit-identical to
+    the pre-topology network model.
+``ring``
+    A bidirectional ring; messages take the shorter direction
+    (clockwise on ties), so the worst pair is ``n // 2`` hops apart.
+``mesh``
+    A 2D mesh on the most square ``rows x cols`` factorization of the
+    node count, with deterministic dimension-order (X-then-Y) routing.
+``torus``
+    The same grid with wraparound in both dimensions; each dimension
+    routes in its shorter wrap direction.
+``fattree``
+    A two-level fat tree collapsed to its crossbar equivalent: every
+    node has an uplink and a downlink to one central switch stage, so
+    every pair is exactly two hops and contention concentrates on the
+    per-node up/down links rather than on shared internal hops.
+
+A topology is pure shape: it enumerates directed links and returns the
+node sequence a message visits.  The flat per-(src, dst) tables the
+simulation hot path indexes are precomputed from that shape by
+:mod:`repro.interconnect.routing`.
+
+The topology names are mirrored in
+:data:`repro.common.params.SystemConfig` validation (``params`` cannot
+import this module without a cycle through the package ``__init__``);
+``tests/test_topology.py`` asserts the two lists stay in sync.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple, Type
+
+from repro.common.errors import ConfigurationError
+
+
+class Topology:
+    """Shape of the inter-node fabric: directed links + deterministic routes."""
+
+    #: registry key; subclasses override.
+    name = ""
+    #: one-line description for ``python -m repro topologies``.
+    description = ""
+
+    def __init__(self, nodes: int) -> None:
+        if nodes <= 0:
+            raise ConfigurationError("topology needs at least one node")
+        self.nodes = nodes
+
+    def links(self) -> List[Tuple[int, int]]:
+        """Directed links as (u, v) vertex pairs, in a deterministic
+        order.  Vertices ``>= nodes`` are internal switch stages (fat
+        tree); they carry links but never originate traffic."""
+        raise NotImplementedError
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """The vertex sequence a message visits, ``[src, ..., dst]``.
+
+        Deterministic (dimension-order / fixed tie-breaks): the routing
+        tables precomputed from it are the *only* routes the simulator
+        ever uses, so determinism here is what keeps runs reproducible.
+        """
+        raise NotImplementedError
+
+    def _check_pair(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.nodes and 0 <= dst < self.nodes):
+            raise ConfigurationError(
+                f"node pair ({src}, {dst}) out of range for {self.nodes} nodes"
+            )
+
+
+class UniformTopology(Topology):
+    """The paper's fabric: direct single-hop pairs, no internal links."""
+
+    name = "uniform"
+    description = "constant-latency point-to-point (the paper's model)"
+
+    def links(self) -> List[Tuple[int, int]]:
+        return []
+
+    def route(self, src: int, dst: int) -> List[int]:
+        self._check_pair(src, dst)
+        if src == dst:
+            return [src]
+        return [src, dst]
+
+
+class RingTopology(Topology):
+    """Bidirectional ring; shortest direction, clockwise on ties."""
+
+    name = "ring"
+    description = "bidirectional ring, shortest-direction routing"
+
+    def links(self) -> List[Tuple[int, int]]:
+        n = self.nodes
+        if n < 2:
+            return []
+        cw = [(i, (i + 1) % n) for i in range(n)]
+        ccw = [(i, (i - 1) % n) for i in range(n)]
+        # On a 2-node ring both directions are the same neighbor.
+        return list(dict.fromkeys(cw + ccw))
+
+    def route(self, src: int, dst: int) -> List[int]:
+        self._check_pair(src, dst)
+        n = self.nodes
+        forward = (dst - src) % n
+        step = 1 if forward <= n - forward else -1
+        path = [src]
+        at = src
+        while at != dst:
+            at = (at + step) % n
+            path.append(at)
+        return path
+
+
+def grid_dims(nodes: int) -> Tuple[int, int]:
+    """The most square ``rows x cols`` factorization (rows <= cols).
+
+    Prime counts degrade gracefully to a 1 x n line/loop.
+    """
+    rows = 1
+    for r in range(int(math.isqrt(nodes)), 0, -1):
+        if nodes % r == 0:
+            rows = r
+            break
+    return rows, nodes // rows
+
+
+class Mesh2DTopology(Topology):
+    """2D mesh, dimension-order (X-then-Y) routing."""
+
+    name = "mesh"
+    description = "2D mesh (most square grid), dimension-order routing"
+    wrap = False
+
+    def __init__(self, nodes: int) -> None:
+        super().__init__(nodes)
+        self.rows, self.cols = grid_dims(nodes)
+
+    def _id(self, r: int, c: int) -> int:
+        return r * self.cols + c
+
+    def links(self) -> List[Tuple[int, int]]:
+        out: List[Tuple[int, int]] = []
+        for r in range(self.rows):
+            for c in range(self.cols):
+                u = self._id(r, c)
+                for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+                    nr, nc = r + dr, c + dc
+                    if self.wrap:
+                        nr %= self.rows
+                        nc %= self.cols
+                    elif not (0 <= nr < self.rows and 0 <= nc < self.cols):
+                        continue
+                    v = self._id(nr, nc)
+                    if v != u:
+                        out.append((u, v))
+        # Wraparound on a 2-long dimension makes both directions the
+        # same neighbor; dedup while keeping first-seen order.
+        return list(dict.fromkeys(out))
+
+    def _axis_steps(self, at: int, to: int, size: int) -> List[int]:
+        """Coordinates visited moving ``at`` -> ``to`` along one axis."""
+        if at == to:
+            return []
+        if self.wrap:
+            forward = (to - at) % size
+            step = 1 if forward <= size - forward else -1
+        else:
+            step = 1 if to > at else -1
+        steps = []
+        while at != to:
+            at = (at + step) % size
+            steps.append(at)
+        return steps
+
+    def route(self, src: int, dst: int) -> List[int]:
+        self._check_pair(src, dst)
+        r, c = divmod(src, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        path = [src]
+        for nc in self._axis_steps(c, dc, self.cols):  # X first
+            c = nc
+            path.append(self._id(r, c))
+        for nr in self._axis_steps(r, dr, self.rows):  # then Y
+            r = nr
+            path.append(self._id(r, c))
+        return path
+
+
+class Torus2DTopology(Mesh2DTopology):
+    """2D torus: the mesh grid with shortest-direction wraparound."""
+
+    name = "torus"
+    description = "2D torus (mesh with wraparound), dimension-order routing"
+    wrap = True
+
+
+class FatTreeTopology(Topology):
+    """Two-level fat tree collapsed to its crossbar equivalent.
+
+    One internal switch vertex (id ``nodes``); every node owns an
+    uplink and a downlink to it.  Every pair is exactly two hops, and
+    congestion shows up on a node's own up/down links — the classic
+    fat-tree property that internal bandwidth never bottlenecks first.
+    """
+
+    name = "fattree"
+    description = "fat-tree/crossbar: 2 hops per pair via per-node up/down links"
+
+    def links(self) -> List[Tuple[int, int]]:
+        switch = self.nodes
+        up = [(i, switch) for i in range(self.nodes)]
+        down = [(switch, i) for i in range(self.nodes)]
+        return up + down
+
+    def route(self, src: int, dst: int) -> List[int]:
+        self._check_pair(src, dst)
+        if src == dst:
+            return [src]
+        return [src, self.nodes, dst]
+
+
+#: name -> class, in presentation order.
+TOPOLOGIES: Dict[str, Type[Topology]] = {
+    cls.name: cls
+    for cls in (
+        UniformTopology,
+        RingTopology,
+        Mesh2DTopology,
+        Torus2DTopology,
+        FatTreeTopology,
+    )
+}
+
+
+def topology_names() -> Tuple[str, ...]:
+    return tuple(TOPOLOGIES)
+
+
+def make_topology(name: str, nodes: int) -> Topology:
+    cls = TOPOLOGIES.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; expected one of {tuple(TOPOLOGIES)}"
+        )
+    return cls(nodes)

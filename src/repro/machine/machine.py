@@ -38,7 +38,9 @@ class Machine:
             Node(n, config) for n in range(config.machine.nodes)
         ]
         self.directory = Directory()
-        self.network = Network(config.machine.nodes, config.costs)
+        self.network = Network(
+            config.machine.nodes, config.costs, topology=config.topology
+        )
         # page -> home node, filled by first-touch placement.
         self.home_of: Dict[int, int] = {}
         self.stats = StatsRegistry(nodes=[node.stats for node in self.nodes])

@@ -10,8 +10,9 @@ Drives one trace per processor through the machine model:
   remote-caching strategies (block cache / page cache / local memory),
   the inter-node directory protocol with refetch detection, and the OS
   services (faults, allocation, replacement, relocation);
-- busy-until contention for the node bus, network interfaces, and home
-  protocol controllers;
+- busy-until contention for the node bus, network interfaces, home
+  protocol controllers, and (on non-uniform topologies) the fabric
+  links along each message's precomputed route;
 - global barriers.
 
 Run-ahead scheduling
@@ -647,7 +648,9 @@ class SimulationEngine:
             else:
                 # No block-cache frame (displaced): write straight home.
                 self.machine.directory.writeback(vb, node.node_id)
-                self.machine.network.one_way_delay(node.node_id, now)
+                self.machine.network.one_way_delay(
+                    node.node_id, now, dst=self.homes.get(vg, node.node_id)
+                )
                 node.stats.block_cache_writebacks += 1
         elif vmapping == MAP_SCOMA:
             node.tags.mark_dirty(vg, vb & self._bpp_mask)
@@ -669,7 +672,10 @@ class SimulationEngine:
                 if st == MODIFIED or st == OWNED:
                     victim.dirty = True
             self.machine.directory.writeback(victim.block, node.node_id)
-            self.machine.network.one_way_delay(node.node_id, now)
+            vg = victim.block >> self._block_page_shift
+            self.machine.network.one_way_delay(
+                node.node_id, now, dst=self.homes.get(vg, node.node_id)
+            )
             node.stats.block_cache_writebacks += 1
         bc.insert(b, writable)
 

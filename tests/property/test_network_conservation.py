@@ -1,0 +1,136 @@
+"""Conservation properties of the network layer.
+
+Every message the network reports must be accounted for by the
+busy-until resources it charged — no phantom occupancy, no uncharged
+messages.  For a :class:`~repro.interconnect.network.Network` under a
+random message stream the exact ledger is:
+
+- NI transactions  == messages (every message leaves through its
+  source NI exactly once);
+- RAD transactions == round trips (one-way write-backs never touch a
+  home controller);
+- link transactions == the hop total of every routed message, as
+  precomputed by the topology's routing table;
+- every resource's busy_cycles == its transactions x its occupancy
+  (plus the explicitly requested extra home occupancy).
+
+The same NI/RAD/link identities are then checked end-to-end after real
+engine runs, where the message mix comes from the protocols rather
+than from the test.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import CostParams
+from repro.interconnect.network import Network
+from repro.interconnect.routing import routing_table_for
+from repro.interconnect.topology import topology_names
+from repro.sim.engine import SimulationEngine
+
+from tests.conftest import tiny_config
+
+NODES = 8
+
+# (src, dst, one_way, gap) quadruples; dst may equal src - the network
+# must keep its books even for self-sends (a home hit that still went
+# through the NI path never happens in the engine, but the layer's
+# ledger should not depend on that).
+messages = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NODES - 1),
+        st.integers(min_value=0, max_value=NODES - 1),
+        st.booleans(),
+        st.integers(min_value=0, max_value=200),
+    ),
+    max_size=60,
+)
+
+
+@given(stream=messages, topology=st.sampled_from(topology_names()))
+@settings(max_examples=120, deadline=None)
+def test_network_ledger_reconciles(stream, topology):
+    costs = CostParams(link_latency=15, link_occupancy=10)
+    net = Network(NODES, costs, topology=topology)
+    table = routing_table_for(topology, NODES)
+
+    now = 0
+    expected_hop_charges = 0
+    expected_extra = 0
+    round_trips = 0
+    for src, dst, one_way, gap in stream:
+        now += gap
+        if one_way:
+            net.one_way_delay(src, now, dst=dst)
+            expected_hop_charges += len(table.path(src, dst))
+        else:
+            extra = (src + dst) % 3 * 7
+            net.round_trip_delay(src, dst, now, extra_home_occupancy=extra)
+            expected_hop_charges += len(table.path(src, dst))
+            expected_extra += extra
+            round_trips += 1
+
+    assert net.messages == len(stream)
+    assert net.round_trips == round_trips
+    assert net.one_ways == len(stream) - round_trips
+
+    assert sum(r.transactions for r in net.nis) == net.messages
+    assert sum(r.transactions for r in net.rads) == net.round_trips
+    assert sum(r.transactions for r in net.links) == expected_hop_charges
+
+    assert sum(r.busy_cycles for r in net.nis) == (
+        net.messages * costs.ni_occupancy
+    )
+    assert sum(r.busy_cycles for r in net.rads) == (
+        net.round_trips * costs.rad_occupancy + expected_extra
+    )
+    assert sum(r.busy_cycles for r in net.links) == (
+        expected_hop_charges * costs.link_occupancy
+    )
+
+
+def _engine_ledger_holds(net: Network) -> None:
+    costs = net._costs
+    assert net.messages == net.round_trips + net.one_ways
+    assert sum(r.transactions for r in net.nis) == net.messages
+    assert sum(r.transactions for r in net.rads) == net.round_trips
+    assert sum(r.busy_cycles for r in net.nis) == (
+        net.messages * costs.ni_occupancy
+    )
+    # Extra home occupancy (invalidation fan-out) only ever adds.
+    assert sum(r.busy_cycles for r in net.rads) >= (
+        net.round_trips * costs.rad_occupancy
+    )
+    assert sum(r.busy_cycles for r in net.links) == (
+        sum(r.transactions for r in net.links) * costs.link_occupancy
+    )
+    if net.topology == "uniform":
+        assert not net.links
+    elif net.messages:
+        # Remote traffic on a linked fabric must have charged links
+        # (every distinct pair is at least one hop apart).
+        assert sum(r.transactions for r in net.links) >= net.round_trips
+
+
+addresses = st.integers(min_value=0, max_value=8 * 512 - 1)
+accesses = st.lists(
+    st.tuples(addresses, st.booleans(), st.integers(min_value=0, max_value=5)),
+    min_size=10,
+    max_size=120,
+)
+
+
+@given(stretch=accesses, topology=st.sampled_from(topology_names()))
+@settings(max_examples=60, deadline=None)
+def test_engine_runs_keep_the_ledger(stretch, topology):
+    from repro.common.records import Access
+
+    for protocol in ("ccnuma", "scoma", "rnuma"):
+        config = tiny_config(protocol, topology=topology)
+        traces = [
+            [Access(a, w, th) for a, w, th in stretch],
+            [Access(a ^ 512, w, th) for a, w, th in stretch],
+        ]
+        engine = SimulationEngine(config, traces)
+        engine.run()
+        _engine_ledger_holds(engine.machine.network)

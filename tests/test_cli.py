@@ -37,6 +37,53 @@ def test_run_custom_threshold(capsys):
     assert "rnuma" in out
 
 
+def test_topologies_listing(capsys):
+    out = run_cli(capsys, "topologies")
+    for name in ("uniform", "ring", "mesh", "torus", "fattree"):
+        assert name in out
+    assert "mean hops" in out and "links" in out
+
+
+def test_run_on_topology(capsys):
+    uniform = run_cli(
+        capsys, "run", "em3d", "--protocol", "ccnuma", "--scale", "0.1"
+    )
+    ring = run_cli(
+        capsys, "run", "em3d", "--protocol", "ccnuma", "--scale", "0.1",
+        "--topology", "ring",
+    )
+    assert "on ring" in ring
+
+    def cycles(text):
+        line = next(l for l in text.splitlines() if l.startswith("ccnuma"))
+        return int(line.split()[1].replace(",", ""))
+
+    # Hop-dependent latency must actually show up.
+    assert cycles(ring) > cycles(uniform)
+
+
+def test_run_link_cost_overrides(capsys):
+    cheap = run_cli(
+        capsys, "run", "em3d", "--protocol", "ccnuma", "--scale", "0.1",
+        "--topology", "ring", "--link-latency", "0", "--link-occupancy", "0",
+    )
+    slow = run_cli(
+        capsys, "run", "em3d", "--protocol", "ccnuma", "--scale", "0.1",
+        "--topology", "ring", "--link-latency", "200",
+    )
+
+    def cycles(text):
+        line = next(l for l in text.splitlines() if l.startswith("ccnuma"))
+        return int(line.split()[1].replace(",", ""))
+
+    assert cycles(slow) > cycles(cheap)
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "em3d", "--topology", "hypercube"])
+
+
 def test_trace_stats(capsys):
     out = run_cli(capsys, "trace-stats", "fft", "--scale", "0.1")
     assert "accesses" in out
@@ -99,7 +146,7 @@ def test_reproduce_full_sweep_and_store_reuse(capsys, tmp_path):
     )
     first = run_cli(capsys, *argv)
     for heading in ("Table 1", "Table 4", "Figure 5", "Figure 9", "Ablation",
-                    "Extension"):
+                    "Extension: cluster-size", "Extension: topology"):
         assert heading in first
     stored = len(list(tmp_path.glob("*.json")))
     assert stored > 0

@@ -93,6 +93,91 @@ class TestNetwork:
         assert net.messages == 0
         assert net.round_trip_delay(0, 1, now=0) == 0
 
+    def test_message_kind_counters(self):
+        net = Network(4, CostParams())
+        net.round_trip_delay(0, 1, now=0)
+        net.round_trip_delay(0, 2, now=0)
+        net.one_way_delay(3, now=0)
+        assert net.round_trips == 2
+        assert net.one_ways == 1
+        assert net.messages == 3
+
     def test_rejects_zero_nodes(self):
         with pytest.raises(ConfigurationError):
             Network(0, CostParams())
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ConfigurationError):
+            Network(4, CostParams(), topology="hypercube")
+
+
+def _burn(net: Network) -> list:
+    """A fixed message mix; returns the per-call delays."""
+    delays = []
+    now = 0
+    for i in range(40):
+        src = i % net.nodes
+        dst = (i * 3 + 1) % net.nodes
+        if dst == src:
+            dst = (dst + 1) % net.nodes
+        if i % 5 == 4:
+            delays.append(net.one_way_delay(src, now, dst=dst))
+        else:
+            delays.append(net.round_trip_delay(src, dst, now))
+        now += 7
+    return delays
+
+
+class TestTopologyNetwork:
+    def test_uniform_matches_topologyless_construction(self):
+        costs = CostParams()
+        plain = Network(8, costs)
+        uniform = Network(8, costs, topology="uniform")
+        assert plain.topology == uniform.topology == "uniform"
+        assert _burn(plain) == _burn(uniform)
+
+    def test_multi_hop_adds_link_latency(self):
+        costs = CostParams(link_latency=25, link_occupancy=0)
+        net = Network(8, costs, topology="ring")
+        # 0 -> 4 is the ring diameter: 4 hops, each adding 25 cycles of
+        # wire time on the request path, all on the critical path.
+        assert net.round_trip_delay(0, 4, now=0) == 4 * 25
+
+    def test_link_contention_queues_messages(self):
+        costs = CostParams(link_latency=0, link_occupancy=50)
+        net = Network(8, costs, topology="ring")
+        first = net.round_trip_delay(0, 1, now=0)
+        # Same single-link route again at the same instant: the second
+        # message waits out the first's link occupancy.
+        second = net.round_trip_delay(0, 1, now=0)
+        assert second >= first + 50
+
+    def test_one_way_charges_links_off_critical_path(self):
+        costs = CostParams(link_latency=10, link_occupancy=50)
+        net = Network(8, costs, topology="ring")
+        # The write-back's returned delay is NI-only ...
+        assert net.one_way_delay(0, now=0, dst=1) == 0
+        # ... but it occupied the 0->1 link, so a following request
+        # over the same link queues behind it.
+        delayed = net.round_trip_delay(0, 1, now=0)
+        net2 = Network(8, costs, topology="ring")
+        net2.one_way_delay(0, now=0)  # no destination: no link charged
+        undelayed = net2.round_trip_delay(0, 1, now=0)
+        assert delayed > undelayed
+
+    def test_reset_regression_back_to_back_runs_identical(self):
+        # Regression: reset() must restore the network — links and
+        # message counters included — so two identical runs on one
+        # Network report identical message counts and delays.
+        costs = CostParams(link_latency=10, link_occupancy=20)
+        for topology in ("uniform", "ring", "torus"):
+            net = Network(8, costs, topology=topology)
+            first_delays = _burn(net)
+            first_messages = net.messages
+            first_busy = sum(r.busy_cycles for r in net.links)
+            net.reset()
+            assert net.messages == 0
+            assert all(r.free_at == 0 for r in net.links)
+            assert _burn(net) == first_delays
+            assert net.messages == first_messages
+            assert sum(r.busy_cycles for r in net.links) == first_busy

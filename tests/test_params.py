@@ -127,3 +127,34 @@ class TestSystemConfig:
 
     def test_base_rnuma_threshold_override(self):
         assert base_rnuma_config(threshold=16).relocation_threshold == 16
+
+    def test_default_topology_is_the_papers_fabric(self):
+        assert SystemConfig().topology == "uniform"
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(topology="hypercube")
+
+    def test_rejects_negative_link_costs(self):
+        from repro.common.params import CostParams
+
+        with pytest.raises(ConfigurationError):
+            CostParams(link_latency=-1)
+        with pytest.raises(ConfigurationError):
+            CostParams(link_occupancy=-1)
+
+    def test_topology_round_trips_through_dict(self):
+        from repro.common.params import config_from_dict, config_to_dict
+
+        cfg = SystemConfig(topology="torus")
+        data = config_to_dict(cfg)
+        assert data["topology"] == "torus"
+        assert data["costs"]["link_latency"] == cfg.costs.link_latency
+        assert config_from_dict(data) == cfg
+
+    def test_pre_topology_payloads_default_to_uniform(self):
+        from repro.common.params import config_from_dict, config_to_dict
+
+        data = config_to_dict(SystemConfig())
+        del data["topology"]  # a payload serialized before this subsystem
+        assert config_from_dict(data).topology == "uniform"

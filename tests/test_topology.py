@@ -1,0 +1,146 @@
+"""Unit tests for the interconnect topologies and routing tables."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import SystemConfig
+from repro.interconnect.routing import RoutingTable, routing_table_for
+from repro.interconnect.topology import (
+    TOPOLOGIES,
+    grid_dims,
+    make_topology,
+    topology_names,
+)
+
+
+class TestRegistry:
+    def test_names_match_systemconfig_validation(self):
+        # params.py cannot import the topology registry (package-init
+        # cycle); this is the sync assertion its comment promises.
+        assert topology_names() == SystemConfig._TOPOLOGIES
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_topology("hypercube", 8)
+        with pytest.raises(ConfigurationError):
+            routing_table_for("hypercube", 8)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_topology("ring", 0)
+
+    def test_systemconfig_rejects_unknown_topology(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(topology="hypercube")
+
+
+def _route_is_valid(table: RoutingTable, topology, src: int, dst: int):
+    """The path's links must chain src -> dst through declared links."""
+    path = table.path(src, dst)
+    if not path:
+        return
+    endpoints = table.link_endpoints
+    assert endpoints[path[0]][0] == src
+    assert endpoints[path[-1]][1] == dst
+    for a, b in zip(path, path[1:]):
+        assert endpoints[a][1] == endpoints[b][0]
+
+
+@pytest.mark.parametrize("name", topology_names())
+@pytest.mark.parametrize("nodes", [1, 2, 3, 4, 7, 8, 16])
+class TestEveryTopology:
+    def test_routes_chain_and_hops_match(self, name, nodes):
+        table = routing_table_for(name, nodes)
+        for src in range(nodes):
+            for dst in range(nodes):
+                if src == dst:
+                    assert table.hop_count(src, dst) == 0
+                    assert table.path(src, dst) == []
+                else:
+                    assert table.hop_count(src, dst) >= 1
+                _route_is_valid(table, name, src, dst)
+
+    def test_hop_symmetry(self, name, nodes):
+        # Every shipped topology routes symmetric-length paths (the
+        # directions may differ, the distances must not).
+        table = routing_table_for(name, nodes)
+        for src in range(nodes):
+            for dst in range(nodes):
+                assert table.hop_count(src, dst) == table.hop_count(dst, src)
+
+    def test_links_are_unique_and_in_range(self, name, nodes):
+        table = routing_table_for(name, nodes)
+        assert len(set(table.link_endpoints)) == table.link_count
+        for link in table.path_links:
+            assert 0 <= link < table.link_count
+
+
+class TestUniform:
+    def test_no_links_single_hop(self):
+        table = routing_table_for("uniform", 8)
+        assert table.link_count == 0
+        assert table.max_hops() == 1
+        assert table.mean_hops() == 1.0
+        assert len(table.path_links) == 0
+
+
+class TestRing:
+    def test_shortest_direction(self):
+        table = routing_table_for("ring", 8)
+        assert table.hop_count(0, 1) == 1
+        assert table.hop_count(0, 7) == 1  # wraps backwards
+        assert table.hop_count(0, 4) == 4  # diameter
+        assert table.max_hops() == 4
+
+    def test_link_count(self):
+        assert routing_table_for("ring", 8).link_count == 16  # 2 per node
+        assert routing_table_for("ring", 1).link_count == 0
+
+
+class TestMeshAndTorus:
+    def test_grid_dims(self):
+        assert grid_dims(16) == (4, 4)
+        assert grid_dims(8) == (2, 4)
+        assert grid_dims(7) == (1, 7)  # prime degrades to a line
+        assert grid_dims(1) == (1, 1)
+
+    def test_mesh_manhattan_distance(self):
+        table = routing_table_for("mesh", 16)  # 4x4
+        assert table.hop_count(0, 3) == 3  # along the top row
+        assert table.hop_count(0, 15) == 6  # corner to corner
+        assert table.max_hops() == 6
+
+    def test_torus_wraps(self):
+        table = routing_table_for("torus", 16)  # 4x4 with wrap
+        assert table.hop_count(0, 3) == 1  # row wrap
+        assert table.hop_count(0, 12) == 1  # column wrap
+        assert table.hop_count(0, 15) == 2
+        assert table.max_hops() == 4
+        assert table.mean_hops() < routing_table_for("mesh", 16).mean_hops()
+
+    def test_two_wide_torus_dimension_dedups_links(self):
+        # On a 2-long wrapped dimension both directions are the same
+        # neighbor; the link list must not declare it twice.
+        table = routing_table_for("torus", 4)  # 2x2
+        assert len(set(table.link_endpoints)) == table.link_count
+
+
+class TestFatTree:
+    def test_two_hops_everywhere(self):
+        table = routing_table_for("fattree", 8)
+        for src in range(8):
+            for dst in range(8):
+                if src != dst:
+                    assert table.hop_count(src, dst) == 2
+        assert table.link_count == 16  # one up + one down per node
+
+    def test_pairs_share_only_endpoint_links(self):
+        # 0->3 and 1->2 are disjoint; 0->3 and 0->2 share the uplink.
+        table = routing_table_for("fattree", 8)
+        assert not set(table.path(0, 3)) & set(table.path(1, 2))
+        assert set(table.path(0, 3)) & set(table.path(0, 2))
+
+
+class TestMemoization:
+    def test_tables_are_shared(self):
+        assert routing_table_for("torus", 16) is routing_table_for("torus", 16)
