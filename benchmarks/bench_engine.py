@@ -14,7 +14,27 @@ against the retained one-event-per-reference loop
   forces a scheduler event per reference and only the cheaper
   inner loop and array caches help;
 - ``app`` — an em3d sweep step, the end-to-end mix of hits and the
-  (dominant) miss path.
+  (dominant) miss path;
+- ``miss_stream`` — one processor marching over 4 MB of its own
+  memory: every reference is an L1 capacity/conflict miss served by
+  local memory, the cheapest miss the machine has — which makes it the
+  purest measurement of the columnar miss path (directory probe,
+  packed outcomes, inline L1 install) against the frozen
+  object/set-based baseline;
+- ``migratory`` — token-passing migratory sharing: phases hand a
+  256-block region from processor to processor (barrier-separated), so
+  every access misses and ownership migrates intra- and inter-node
+  (directory write-steals, invalidation fan-out, block-cache churn);
+- ``page_thrash`` — an R-NUMA relocation storm: each processor sweeps
+  remote pages with conflict strides past the relocation threshold
+  while the page cache is too small, so pages relocate, evict, remap
+  CC, and relocate again (page-cache replacement, TLB shootdowns,
+  translation-table churn).
+
+The reference engine is *fully frozen* (classic one-event loop + the
+pre-columnar set/dict/object structures from :mod:`repro.sim.legacy`),
+so each speedup measures the scheduler and the state-layout overhaul
+together.
 
 Results are also written as ``benchmarks/BENCH_engine.json`` by
 ``python -m benchmarks.bench_engine`` so the refs/sec trajectory is
@@ -96,6 +116,92 @@ def _parallel_hits_program(n: int) -> CompiledProgram:
     return CompiledProgram("bench-parallel-hits", traces=traces)
 
 
+def _miss_stream_program(n: int) -> CompiledProgram:
+    """One cpu misses on every reference; 31 park at the barrier."""
+    stride = SPACE.block_size
+    span = 4 * 1024 * 1024
+    t = [Access((i * stride * 7) % span, think=1) for i in range(n)]
+    traces = [t + [Barrier(0)]]
+    traces += [[Barrier(0)] for _ in range(1, PAPER_MACHINE.total_cpus)]
+    return CompiledProgram("bench-miss-stream", traces=traces)
+
+
+def _migratory_program(n: int) -> CompiledProgram:
+    """A 256-block region migrates processor to processor, phase by
+    phase; every access is a write miss on lines the previous owner
+    still holds (intra-node hand-offs between slots, inter-node
+    ownership steals every cpus_per_node phases)."""
+    region_blocks = 256
+    total = PAPER_MACHINE.total_cpus
+    phases = max(total, n // region_blocks)
+    traces = [[] for _ in range(total)]
+    blk = SPACE.block_size
+    for p in range(phases):
+        tr = traces[p % total]
+        for i in range(region_blocks):
+            tr.append(Access(i * blk, is_write=True, think=0))
+        barrier = Barrier(p)
+        for t in traces:
+            t.append(barrier)
+    return CompiledProgram("bench-migratory", traces=traces)
+
+
+#: page_thrash geometry: frames per node / private pages per cpu.
+_THRASH_FRAMES = 8
+_THRASH_PAGES_PER_CPU = 16
+
+
+def _page_thrash_program(n: int) -> CompiledProgram:
+    """Relocation-heavy sweeps: every cpu's private pages live on a
+    *remote* home (a foreign cpu first-touches them), are refetched
+    past the relocation threshold by conflict-stride sweeps, and fight
+    over a page cache with too few frames — so pages relocate to
+    S-COMA, get evicted, remap CC-NUMA, and relocate again."""
+    total = PAPER_MACHINE.total_cpus
+    pages_per_cpu = _THRASH_PAGES_PER_CPU
+    offsets = (0, 16, 32, 48)  # conflict stride inside each page
+    page = SPACE.page_size
+    blk = SPACE.block_size
+
+    def base(c: int, p: int) -> int:
+        return (c * pages_per_cpu + p) * page
+
+    traces = [[] for _ in range(total)]
+    # First-touch each cpu's region from another node so its home is
+    # remote (refetch detection only fires at a remote home).
+    for c in range(total):
+        toucher = (c + PAPER_MACHINE.cpus_per_node) % total
+        for p in range(pages_per_cpu):
+            traces[toucher].append(Access(base(c, p), think=0))
+    barrier = Barrier(0)
+    for t in traces:
+        t.append(barrier)
+    sweeps = max(2, n // (total * pages_per_cpu * len(offsets)))
+    for c in range(total):
+        tr = traces[c]
+        for _ in range(sweeps):
+            for p in range(pages_per_cpu):
+                for off in offsets:
+                    tr.append(
+                        Access(base(c, p) + off * blk, is_write=off == 0, think=0)
+                    )
+        tr.append(Barrier(1))
+    return CompiledProgram("bench-page-thrash", traces=traces)
+
+
+def _page_thrash_config() -> SystemConfig:
+    return SystemConfig(
+        protocol="rnuma",
+        machine=PAPER_MACHINE,
+        caches=CacheParams(
+            block_cache_size=128,
+            page_cache_size=_THRASH_FRAMES * SPACE.page_size,
+        ),
+        space=SPACE,
+        relocation_threshold=4,
+    )
+
+
 def _time_engine(engine_cls, config, program, repeats: int):
     """Best-of-N wall time of ``run()`` alone; returns (result, dt, sched)."""
     best = None
@@ -165,6 +271,15 @@ def run_engine_comparison(scale: float = 1.0, repeats: int = 3) -> dict:
         "app": _compare(
             config, build_program("em3d", scale=max(0.05, 0.5 * scale)), repeats
         ),
+        "miss_stream": _compare(
+            config, _miss_stream_program(max(1000, n // 4)), repeats
+        ),
+        "migratory": _compare(
+            config, _migratory_program(max(4000, n // 2)), repeats
+        ),
+        "page_thrash": _compare(
+            _page_thrash_config(), _page_thrash_program(max(4000, n // 2)), repeats
+        ),
     }
     return {
         "bench": "engine",
@@ -198,9 +313,84 @@ def assert_engine_win(
     # all but vanish, and every comparison asserted result equality.
     assert serial["heap_ops_per_ref"] < 0.01
     assert serial["mean_run_length"] > 100
+    # The miss-dominated scenarios must actually be miss-dominated.
+    for name in ("miss_stream", "migratory", "page_thrash"):
+        assert scenarios[name]["miss_rate"] > 0.9, (
+            f"{name} miss rate {scenarios[name]['miss_rate']:.2f} — "
+            "scenario no longer stresses the miss path"
+        )
     if strict_timing:
         assert scenarios["parallel_hits"]["speedup"] >= 1.0
         assert scenarios["app"]["speedup"] >= 1.0
+        assert scenarios["miss_stream"]["speedup"] >= 1.2
+
+
+#: scenarios whose whole point is the miss path (smoke gates on these)
+MISS_SCENARIOS = ("miss_stream", "migratory", "page_thrash")
+
+
+def assert_miss_path_floor(
+    numbers: dict, recorded: dict, tolerance: float = 0.9
+) -> float:
+    """CI gate: the miss-path win must not regress >10% vs the recorded
+    ``BENCH_engine.json``.
+
+    Individual scenario timings on a loaded CI box swing by more than
+    the 10% budget, so the gate compares the *geometric mean* speedup
+    over the three miss-dominated scenarios — noise averages out while
+    a real miss-path regression moves all three together.  Returns the
+    measured geomean.
+    """
+    measured = 1.0
+    baseline = 1.0
+    for name in MISS_SCENARIOS:
+        measured *= numbers["scenarios"][name]["speedup"]
+        baseline *= recorded["scenarios"][name]["speedup"]
+    measured **= 1 / len(MISS_SCENARIOS)
+    baseline **= 1 / len(MISS_SCENARIOS)
+    floor = tolerance * baseline
+    assert measured >= floor, (
+        f"miss-path speedup geomean {measured:.2f}x regressed below "
+        f"{floor:.2f}x (recorded {baseline:.2f}x - 10%)"
+    )
+    return measured
+
+
+def measure_allocations(scale: float = 0.1) -> dict:
+    """Per-scenario allocation footprint of the columnar engine.
+
+    Runs each miss-dominated scenario once under :mod:`tracemalloc`
+    and reports the allocation peak and the number of live allocated
+    blocks during the run — the object churn the columnar miss path
+    exists to eliminate.  Construction (machine build, trace packing)
+    happens before tracing starts, so the numbers are the *run's*.
+    """
+    import tracemalloc
+
+    n = max(2000, int(200000 * scale))
+    cc = _config(machine=PAPER_MACHINE)
+    cases = {
+        "miss_stream": (cc, _miss_stream_program(max(1000, n // 4))),
+        "migratory": (cc, _migratory_program(max(4000, n // 2))),
+        "page_thrash": (_page_thrash_config(), _page_thrash_program(max(4000, n // 2))),
+    }
+    report = {}
+    for name, (config, program) in cases.items():
+        engine = SimulationEngine(config, program)
+        tracemalloc.start()
+        engine.run()
+        snapshot = tracemalloc.take_snapshot()
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        refs = engine.sched_stats["refs"]
+        blocks = sum(stat.count for stat in snapshot.statistics("filename"))
+        report[name] = {
+            "refs": refs,
+            "run_peak_bytes": peak,
+            "live_blocks_after_run": blocks,
+            "peak_bytes_per_ref": peak / refs if refs else 0.0,
+        }
+    return report
 
 
 def write_bench_json(numbers: dict, path: Path = BENCH_JSON) -> Path:

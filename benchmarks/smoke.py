@@ -51,10 +51,21 @@ def main() -> int:
     assert result.exec_cycles > 0
     print(f"engine ok  em3d x0.05: {result.exec_cycles:,} cycles")
 
-    # Run-ahead scheduler vs the reference loop at a small scale: the
-    # comparison itself asserts result equality, and the win floor is
-    # relaxed from the full benchmark's 3x to tolerate CI timing noise.
-    from benchmarks.bench_engine import assert_engine_win, run_engine_comparison
+    # Columnar engine vs the frozen reference (classic loop + the
+    # pre-columnar set/dict structures) at a small scale: the
+    # comparison itself asserts bit-identical results, and the win
+    # floor is relaxed from the full benchmark's 3x to tolerate CI
+    # timing noise.
+    import json
+
+    from benchmarks.bench_engine import (
+        BENCH_JSON,
+        MISS_SCENARIOS,
+        assert_engine_win,
+        assert_miss_path_floor,
+        measure_allocations,
+        run_engine_comparison,
+    )
 
     numbers = run_engine_comparison(scale=0.1, repeats=2)
     assert_engine_win(numbers, serial_floor=1.8, strict_timing=False)
@@ -64,6 +75,26 @@ def main() -> int:
         f"heap ops/ref {serial['heap_ops_per_ref']:.4f}, "
         f"mean run {serial['mean_run_length']:.0f}"
     )
+
+    # Miss-path throughput floor: no >10% regression of the
+    # miss-dominated geomean vs the recorded BENCH_engine.json.
+    recorded = json.loads(BENCH_JSON.read_text())
+    geomean = assert_miss_path_floor(numbers, recorded)
+    for name in MISS_SCENARIOS:
+        s = numbers["scenarios"][name]
+        print(
+            f"miss path ok  {name:12s} {s['runahead_refs_per_s'] / 1e3:6.0f}k refs/s "
+            f"speedup {s['speedup']:.2f}x  miss {s['miss_rate'] * 100:.0f}%"
+        )
+    print(f"miss path ok  geomean speedup {geomean:.2f}x (gate: no >10% regression)")
+
+    # Allocation footprint of the allocation-free miss path.
+    for name, a in measure_allocations(scale=0.1).items():
+        print(
+            f"allocs        {name:12s} run peak {a['run_peak_bytes'] / 1024:7.1f} KiB "
+            f"({a['peak_bytes_per_ref']:.1f} B/ref), "
+            f"{a['live_blocks_after_run']:,} live blocks after run"
+        )
 
     # Every interconnect topology at the smallest scale: the uniform
     # fabric must stay free and every non-uniform one must add cycles.

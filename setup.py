@@ -7,4 +7,6 @@ the editable install path working.
 
 from setuptools import setup
 
-setup()
+# The columnar miss path uses 3.10+ features (slotted dataclasses,
+# int.bit_count); CI tests 3.10–3.12.
+setup(python_requires=">=3.10")

@@ -10,20 +10,42 @@ blocks held read-only.  Evicting a dirty/exclusive frame therefore forces
 the L1 copies out (the engine performs that), while evicting a read-only
 frame leaves any L1 copies in place.
 
+State layout
+------------
+
+Line metadata lives in three preallocated columns indexed by frame:
+``block_at`` is an ``array('q')`` of resident block numbers
+(:data:`EMPTY` = −1 marks a free frame) and ``writable_at`` /
+``dirty_at`` are parallel ``bytearray`` flags.  The miss path talks to
+the cache through packed-int probes (:meth:`probe`, :meth:`victim_probe`,
+:meth:`invalidate_probe`) that never allocate; the object-returning
+methods (:meth:`lookup`, :meth:`insert`, …) remain for cold paths and
+tests and return **snapshots** — mutating a returned line does not write
+through.
+
 A ``num_blocks`` of 0 models a machine with no block cache; a very large
-value models the paper's "infinite block cache" normalization baseline.
+value models the paper's "infinite block cache" normalization baseline
+(``infinite`` keeps a dict of packed flags, since its frame space is
+unbounded).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from array import array
+from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
 
+#: Sentinel in ``block_at`` for a frame with no resident line.
+EMPTY = -1
+
+#: packed line flags (probe/victim_probe results)
+FLAG_WRITABLE = 1
+FLAG_DIRTY = 2
+
 
 class BlockCacheLine:
-    """Frame metadata: which block lives here and whether it is dirty /
-    held with write (exclusive) rights at node level."""
+    """Read-only snapshot of one frame's metadata (cold paths only)."""
 
     __slots__ = ("block", "writable", "dirty")
 
@@ -41,7 +63,15 @@ class BlockCache:
     builds the ideal-machine variant with no evictions.
     """
 
-    __slots__ = ("num_blocks", "_mask", "_lines", "_infinite")
+    __slots__ = (
+        "num_blocks",
+        "mask",
+        "_infinite",
+        "block_at",
+        "writable_at",
+        "dirty_at",
+        "_inf_flags",
+    )
 
     def __init__(self, num_blocks: int, infinite: bool = False) -> None:
         if num_blocks < 0:
@@ -51,9 +81,14 @@ class BlockCache:
                 f"block cache size must be a power of two blocks, got {num_blocks}"
             )
         self.num_blocks = num_blocks
-        self._mask = num_blocks - 1 if num_blocks else 0
+        self.mask = num_blocks - 1 if num_blocks else 0
         self._infinite = infinite
-        self._lines: Dict[int, BlockCacheLine] = {}
+        frames = 0 if infinite else num_blocks
+        self.block_at: array = array("q", [EMPTY]) * frames
+        self.writable_at: bytearray = bytearray(frames)
+        self.dirty_at: bytearray = bytearray(frames)
+        # Infinite variant: block -> packed flags (writable | dirty<<1).
+        self._inf_flags: Dict[int, int] = {}
 
     @classmethod
     def infinite_cache(cls) -> "BlockCache":
@@ -64,62 +99,146 @@ class BlockCache:
     def is_infinite(self) -> bool:
         return self._infinite
 
-    def _index(self, block: int) -> int:
-        return block if self._infinite else block & self._mask
+    def reset(self) -> None:
+        """Drop every line (fresh-machine state for a re-run)."""
+        n = len(self.block_at)
+        if n:
+            self.block_at[:] = array("q", [EMPTY]) * n
+            self.writable_at[:] = bytes(n)
+            self.dirty_at[:] = bytes(n)
+        self._inf_flags.clear()
 
-    def lookup(self, block: int) -> Optional[BlockCacheLine]:
-        """The resident line for ``block``, or None on a miss."""
-        if self.num_blocks == 0 and not self._infinite:
-            return None
-        line = self._lines.get(self._index(block))
-        if line is not None and line.block == block:
-            return line
-        return None
+    # ------------------------------------------------------------------
+    # packed-int probes (the miss path; never allocate)
+    # ------------------------------------------------------------------
 
-    def victim_for(self, block: int) -> Optional[BlockCacheLine]:
-        """Line that inserting ``block`` would displace (None if free)."""
+    def probe(self, block: int) -> int:
+        """Flags of the resident line for ``block``, or −1 on a miss."""
         if self._infinite:
-            return None
+            return self._inf_flags.get(block, -1)
         if self.num_blocks == 0:
-            return None
-        line = self._lines.get(self._index(block))
-        if line is None or line.block == block:
-            return None
-        return line
+            return -1
+        idx = block & self.mask
+        if self.block_at[idx] != block:
+            return -1
+        return self.writable_at[idx] | (self.dirty_at[idx] << 1)
 
-    def insert(self, block: int, writable: bool) -> Optional[BlockCacheLine]:
-        """Install ``block``; returns the displaced line, if any.
+    def victim_probe(self, block: int) -> int:
+        """Line that inserting ``block`` would displace, packed as
+        ``resident_block << 2 | writable | dirty << 1`` (−1 if free)."""
+        if self._infinite or self.num_blocks == 0:
+            return -1
+        idx = block & self.mask
+        resident = self.block_at[idx]
+        if resident == EMPTY or resident == block:
+            return -1
+        return (resident << 2) | self.writable_at[idx] | (self.dirty_at[idx] << 1)
 
-        With ``num_blocks == 0`` the insert is a no-op returning None
-        (the machine simply has nowhere to put remote blocks and every
+    def fill(self, block: int, writable: bool) -> None:
+        """Install ``block`` clean, overwriting the frame.
+
+        The caller handles the displaced line first (via
+        :meth:`victim_probe`).  With ``num_blocks == 0`` the fill is a
+        no-op (the machine has nowhere to put remote blocks and every
         access refetches).
         """
-        if self.num_blocks == 0 and not self._infinite:
+        if self._infinite:
+            self._inf_flags[block] = FLAG_WRITABLE if writable else 0
+            return
+        if self.num_blocks == 0:
+            return
+        idx = block & self.mask
+        self.block_at[idx] = block
+        self.writable_at[idx] = 1 if writable else 0
+        self.dirty_at[idx] = 0
+
+    def invalidate_probe(self, block: int) -> int:
+        """Drop ``block``; returns its flags (−1 if absent)."""
+        if self._infinite:
+            return self._inf_flags.pop(block, -1)
+        if self.num_blocks == 0:
+            return -1
+        idx = block & self.mask
+        if self.block_at[idx] != block:
+            return -1
+        flags = self.writable_at[idx] | (self.dirty_at[idx] << 1)
+        self.block_at[idx] = EMPTY
+        self.writable_at[idx] = 0
+        self.dirty_at[idx] = 0
+        return flags
+
+    def mark_dirty(self, block: int) -> bool:
+        """Mark a resident line dirty (and writable); True if present."""
+        if self._infinite:
+            if block in self._inf_flags:
+                self._inf_flags[block] = FLAG_WRITABLE | FLAG_DIRTY
+                return True
+            return False
+        if self.num_blocks == 0:
+            return False
+        idx = block & self.mask
+        if self.block_at[idx] != block:
+            return False
+        self.writable_at[idx] = 1
+        self.dirty_at[idx] = 1
+        return True
+
+    def downgrade(self, block: int) -> None:
+        """Resident line becomes clean and read-only (owner downgrade)."""
+        if self._infinite:
+            if block in self._inf_flags:
+                self._inf_flags[block] = 0
+            return
+        if self.num_blocks == 0:
+            return
+        idx = block & self.mask
+        if self.block_at[idx] == block:
+            self.writable_at[idx] = 0
+            self.dirty_at[idx] = 0
+
+    # ------------------------------------------------------------------
+    # snapshot API (cold paths, OS services, tests)
+    # ------------------------------------------------------------------
+
+    def _snapshot(self, block: int, flags: int) -> BlockCacheLine:
+        return BlockCacheLine(
+            block, bool(flags & FLAG_WRITABLE), bool(flags & FLAG_DIRTY)
+        )
+
+    def lookup(self, block: int) -> Optional[BlockCacheLine]:
+        """Snapshot of the resident line for ``block`` (None on a miss)."""
+        flags = self.probe(block)
+        if flags < 0:
             return None
+        return self._snapshot(block, flags)
+
+    def victim_for(self, block: int) -> Optional[BlockCacheLine]:
+        """Snapshot of the line inserting ``block`` would displace."""
+        packed = self.victim_probe(block)
+        if packed < 0:
+            return None
+        return self._snapshot(packed >> 2, packed & 3)
+
+    def insert(self, block: int, writable: bool) -> Optional[BlockCacheLine]:
+        """Install ``block``; returns a snapshot of the displaced line."""
         victim = self.victim_for(block)
-        self._lines[self._index(block)] = BlockCacheLine(block, writable, dirty=False)
+        self.fill(block, writable)
         return victim
 
     def invalidate(self, block: int) -> Optional[BlockCacheLine]:
-        """Drop ``block``; returns the dropped line (None if absent)."""
-        idx = self._index(block)
-        line = self._lines.get(idx)
-        if line is None or line.block != block:
+        """Drop ``block``; returns a snapshot of the dropped line."""
+        flags = self.invalidate_probe(block)
+        if flags < 0:
             return None
-        del self._lines[idx]
-        return line
-
-    def mark_dirty(self, block: int) -> None:
-        line = self.lookup(block)
-        if line is not None:
-            line.dirty = True
-            line.writable = True
+        return self._snapshot(block, flags)
 
     def resident_blocks(self) -> List[int]:
-        return [line.block for line in self._lines.values()]
+        if self._infinite:
+            return list(self._inf_flags)
+        return [b for b in self.block_at if b != EMPTY]
 
     def lines_of_page(self, page_blocks) -> List[BlockCacheLine]:
-        """Resident lines whose block falls in ``page_blocks``."""
+        """Snapshots of resident lines whose block falls in ``page_blocks``."""
         hits = []
         for b in page_blocks:
             line = self.lookup(b)
@@ -128,4 +247,7 @@ class BlockCache:
         return hits
 
     def __len__(self) -> int:
-        return len(self._lines)
+        if self._infinite:
+            return len(self._inf_flags)
+        n = len(self.block_at)
+        return n - self.block_at.count(EMPTY) if n else 0

@@ -42,37 +42,46 @@ class FineGrainTags:
     fixed-width hardware structure, not a sparse map.
     """
 
-    __slots__ = ("blocks_per_page", "_tags", "_dirty")
+    __slots__ = ("blocks_per_page", "rows", "_dirty")
 
     def __init__(self, blocks_per_page: int) -> None:
         if blocks_per_page <= 0:
             raise ProtocolError("blocks_per_page must be positive")
         self.blocks_per_page = blocks_per_page
-        # page -> per-offset tag bytes; a zero byte == BLOCK_INVALID
-        self._tags: Dict[int, bytearray] = {}
+        # page -> per-offset tag bytes; a zero byte == BLOCK_INVALID.
+        # ``rows`` is public on purpose: the engine probes it directly
+        # on the S-COMA miss path (dict get + byte load, no method
+        # call), and the dict keeps its identity for the lifetime of
+        # the store (reset() clears it in place).
+        self.rows: Dict[int, bytearray] = {}
         # page -> per-offset dirty flags (1 == locally dirty)
         self._dirty: Dict[int, bytearray] = {}
 
+    def reset(self) -> None:
+        """Drop every page's tags (fresh-machine state for a re-run)."""
+        self.rows.clear()
+        self._dirty.clear()
+
     def map_page(self, page: int) -> None:
         """Create all-invalid tags for a freshly mapped page."""
-        if page in self._tags:
+        if page in self.rows:
             raise ProtocolError(f"page {page} already has fine-grain tags")
-        self._tags[page] = bytearray(self.blocks_per_page)
+        self.rows[page] = bytearray(self.blocks_per_page)
         self._dirty[page] = bytearray(self.blocks_per_page)
 
     def unmap_page(self, page: int) -> None:
         """Drop tags for an unmapped page."""
-        self._tags.pop(page, None)
+        self.rows.pop(page, None)
         self._dirty.pop(page, None)
 
     def is_mapped(self, page: int) -> bool:
-        return page in self._tags
+        return page in self.rows
 
     def get(self, page: int, offset: int) -> int:
         """Tag state of block ``offset`` within ``page``."""
         if offset < 0:
             raise IndexError(f"negative block offset {offset}")
-        tags = self._tags.get(page)
+        tags = self.rows.get(page)
         if tags is None:
             return BLOCK_INVALID
         return tags[offset]
@@ -82,7 +91,7 @@ class FineGrainTags:
             raise ProtocolError(f"not a fine-grain tag state: {state}")
         if offset < 0:
             raise IndexError(f"negative block offset {offset}")
-        tags = self._tags.get(page)
+        tags = self.rows.get(page)
         if tags is None:
             raise ProtocolError(f"page {page} is not S-mapped on this node")
         tags[offset] = state
@@ -108,7 +117,7 @@ class FineGrainTags:
 
     def valid_offsets(self, page: int) -> List[int]:
         """Offsets of all present (readonly or writable) blocks."""
-        tags = self._tags.get(page)
+        tags = self.rows.get(page)
         if not tags:
             return []
         return [off for off, state in enumerate(tags) if state]
@@ -121,7 +130,7 @@ class FineGrainTags:
         return [off for off, flag in enumerate(dirty) if flag]
 
     def valid_count(self, page: int) -> int:
-        tags = self._tags.get(page)
+        tags = self.rows.get(page)
         if not tags:
             return 0
         return self.blocks_per_page - tags.count(0)

@@ -2,7 +2,15 @@
 protocol, and refetch detection (the signal R-NUMA reacts to).
 """
 
-from repro.coherence.directory import Directory, DirectoryEntry, FetchOutcome
+from repro.coherence.directory import (
+    NO_OWNER,
+    Directory,
+    bits_of,
+    out_inval_mask,
+    out_invalidated,
+    out_prev_owner,
+    out_refetch,
+)
 from repro.coherence.states import (
     EXCLUSIVE,
     INVALID,
@@ -16,14 +24,18 @@ from repro.coherence.states import (
 
 __all__ = [
     "Directory",
-    "DirectoryEntry",
     "EXCLUSIVE",
-    "FetchOutcome",
     "INVALID",
     "MODIFIED",
+    "NO_OWNER",
     "OWNED",
     "SHARED",
+    "bits_of",
     "is_dirty",
     "is_valid",
+    "out_inval_mask",
+    "out_invalidated",
+    "out_prev_owner",
+    "out_refetch",
     "state_name",
 ]

@@ -15,76 +15,83 @@ makes refetch detection cheap (paper, Section 3.1):
 - A coherence invalidation clears was-held, so misses caused by inter-node
   communication are never misclassified as refetches.
 
-The directory stores no data; it answers each request with a
-:class:`FetchOutcome` telling the caller (the simulation engine) which
-nodes must be invalidated or downgraded and whether the request was a
-refetch.
+State layout
+------------
+
+The directory stores no data and, on the miss path, allocates none
+either.  Sharing state lives in flat parallel columns indexed by a
+per-block slot: ``owner`` is a node id (or :data:`NO_OWNER`) and
+``sharers``/``was_held`` are **node bitmasks** — bit *n* set means node
+*n* is in the set.  Set union is ``|=``, removal is ``&= ~bit``, and
+membership is a shift-and-mask, so a request mutates three machine
+integers instead of churning Python ``set`` objects.
+
+Each request returns a single **packed outcome int** instead of an
+allocated result object:
+
+====================  ================================================
+bit 0                 refetch — the requester previously held this
+                      block and lost it to replacement, not coherence
+bits 1..31            ``prev_owner + 1`` — node that held the block
+                      exclusively before this request (0 means none);
+                      it has been downgraded (read) or invalidated
+                      (write) and the caller must fix its local caches
+bits 32..             bitmask of nodes whose copies this request
+                      invalidated (write requests only; excludes the
+                      requester)
+====================  ================================================
+
+Decode with :func:`out_refetch` / :func:`out_prev_owner` /
+:func:`out_inval_mask` (or :func:`out_invalidated` for a tuple on cold
+paths); the engine decodes inline with shifts and iterates sharers with
+``mask & -mask`` bit tricks.  The frozen set-based transcription this
+layout must stay observationally identical to lives in
+:mod:`repro.sim.legacy` (see
+``tests/property/test_memory_layout_differential.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.common.errors import ProtocolError
 
 NO_OWNER = -1
 
-
-class DirectoryEntry:
-    """Sharing state for one block.
-
-    ``owner`` is the node holding the block exclusively (or NO_OWNER);
-    ``sharers`` are nodes the home believes hold a copy; ``was_held``
-    are nodes that have been handed the data and have not been
-    coherence-invalidated since — the refetch-detection set.
-    """
-
-    __slots__ = ("owner", "sharers", "was_held")
-
-    def __init__(self) -> None:
-        self.owner: int = NO_OWNER
-        self.sharers: set = set()
-        self.was_held: set = set()
-
-    def check(self) -> None:
-        """Raise ProtocolError if internal invariants are violated."""
-        if self.owner != NO_OWNER:
-            if self.sharers != {self.owner}:
-                raise ProtocolError(
-                    f"exclusive owner {self.owner} but sharers={self.sharers}"
-                )
-            if self.owner not in self.was_held:
-                raise ProtocolError("owner must be in was_held")
+#: packed-outcome layout (see module docstring)
+OUT_OWNER_SHIFT = 1
+OUT_OWNER_MASK = 0x7FFF_FFFF
+OUT_INVAL_SHIFT = 32
 
 
-class FetchOutcome:
-    """Result of a directory request.
+def out_refetch(out: int) -> bool:
+    """Refetch flag of a packed outcome."""
+    return bool(out & 1)
 
-    Attributes
-    ----------
-    refetch:
-        The requester previously held this block and lost it to
-        replacement (capacity/conflict), not coherence.
-    prev_owner:
-        Node that held the block exclusively before this request
-        (NO_OWNER if none); it has been downgraded (read) or invalidated
-        (write) and the caller must update that node's local caches.
-    invalidated:
-        Nodes whose copies were invalidated by this request (write
-        requests only; excludes the requester).
-    """
 
-    __slots__ = ("refetch", "prev_owner", "invalidated")
+def out_prev_owner(out: int) -> int:
+    """Previous exclusive owner of a packed outcome (NO_OWNER if none)."""
+    return ((out >> OUT_OWNER_SHIFT) & OUT_OWNER_MASK) - 1
 
-    def __init__(
-        self,
-        refetch: bool,
-        prev_owner: int = NO_OWNER,
-        invalidated: Tuple[int, ...] = (),
-    ) -> None:
-        self.refetch = refetch
-        self.prev_owner = prev_owner
-        self.invalidated = invalidated
+
+def out_inval_mask(out: int) -> int:
+    """Bitmask of nodes invalidated by the request."""
+    return out >> OUT_INVAL_SHIFT
+
+
+def bits_of(mask: int) -> List[int]:
+    """Node ids set in ``mask``, ascending (cold-path helper)."""
+    nodes = []
+    while mask:
+        low = mask & -mask
+        nodes.append(low.bit_length() - 1)
+        mask ^= low
+    return nodes
+
+
+def out_invalidated(out: int) -> Tuple[int, ...]:
+    """Invalidated node ids of a packed outcome, ascending."""
+    return tuple(bits_of(out >> OUT_INVAL_SHIFT))
 
 
 class Directory:
@@ -92,52 +99,72 @@ class Directory:
 
     The home-node association of blocks is kept by the placement map, not
     here; the directory only needs entries for blocks that have been
-    requested at least once.
+    requested at least once.  ``slots`` maps a block to its index in the
+    three parallel columns; entries are never deleted (a flush merely
+    clears the node's bits), so slots are stable for a run.
     """
 
-    __slots__ = ("_entries",)
+    __slots__ = ("slots", "owners", "sharer_masks", "held_masks")
 
     def __init__(self) -> None:
-        self._entries: Dict[int, DirectoryEntry] = {}
+        # Public columns on purpose (same contract as L1Cache.block_at):
+        # the engine probes owner/sharer state directly on its miss
+        # path, and all four containers keep their identity for the
+        # directory's lifetime (reset() clears them in place).
+        self.slots: Dict[int, int] = {}
+        self.owners: List[int] = []
+        self.sharer_masks: List[int] = []
+        self.held_masks: List[int] = []
 
-    def entry(self, block: int) -> DirectoryEntry:
-        e = self._entries.get(block)
-        if e is None:
-            e = DirectoryEntry()
-            self._entries[block] = e
-        return e
-
-    def peek(self, block: int) -> Optional[DirectoryEntry]:
-        """Entry for ``block`` if one exists (no allocation)."""
-        return self._entries.get(block)
+    def _new_slot(self, block: int) -> int:
+        s = len(self.owners)
+        self.slots[block] = s
+        self.owners.append(NO_OWNER)
+        self.sharer_masks.append(0)
+        self.held_masks.append(0)
+        return s
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.slots)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self.slots
+
+    def reset(self) -> None:
+        """Forget every entry (fresh-machine state for a re-run)."""
+        self.slots.clear()
+        del self.owners[:]
+        del self.sharer_masks[:]
+        del self.held_masks[:]
 
     # ------------------------------------------------------------------
     # requests from remote nodes (and from the home itself)
     # ------------------------------------------------------------------
 
-    def read_request(self, block: int, node: int) -> FetchOutcome:
-        """Node ``node`` asks the home for a readable copy of ``block``."""
-        e = self.entry(block)
-        refetch = node in e.was_held and node not in (e.owner,)
-        prev_owner = NO_OWNER
-        if e.owner != NO_OWNER and e.owner != node:
-            # Owner is downgraded to a shared copy; data returns home.
-            prev_owner = e.owner
-            e.owner = NO_OWNER
-        elif e.owner == node:
-            # The home thinks we own it but we are asking again: the node
-            # lost the line without telling us (silent eviction of a line
-            # it held exclusively clean, or an L1/block-cache race).
-            refetch = node in e.was_held
-            e.owner = NO_OWNER
-        e.sharers.add(node)
-        e.was_held.add(node)
-        return FetchOutcome(refetch, prev_owner=prev_owner)
+    def read_request(self, block: int, node: int) -> int:
+        """Node ``node`` asks the home for a readable copy of ``block``.
 
-    def write_request(self, block: int, node: int, upgrade: bool = False) -> FetchOutcome:
+        A request from a node still marked was-held is a refetch — also
+        when the home thought the node *owned* the block (silent
+        eviction of an exclusive-clean line, or an L1/block-cache race).
+        """
+        s = self.slots.get(block)
+        if s is None:
+            s = self._new_slot(block)
+        owner = self.owners[s]
+        out = (self.held_masks[s] >> node) & 1
+        if owner >= 0 and owner != node:
+            # Owner is downgraded to a shared copy; data returns home.
+            out |= (owner + 1) << OUT_OWNER_SHIFT
+            self.owners[s] = NO_OWNER
+        elif owner == node:
+            self.owners[s] = NO_OWNER
+        bit = 1 << node
+        self.sharer_masks[s] |= bit
+        self.held_masks[s] |= bit
+        return out
+
+    def write_request(self, block: int, node: int, upgrade: bool = False) -> int:
         """Node ``node`` asks for exclusive ownership of ``block``.
 
         ``upgrade`` marks requests from a node that still holds a valid
@@ -145,16 +172,23 @@ class Directory:
         protocols, never a refetch (the node lost nothing to
         replacement — it only needs write permission).
         """
-        e = self.entry(block)
-        refetch = node in e.was_held and e.owner != node and not upgrade
-        prev_owner = e.owner if e.owner not in (NO_OWNER, node) else NO_OWNER
-        invalidated = tuple(n for n in e.sharers if n != node)
-        # Coherence invalidation clears was-held for every displaced node:
-        # their next miss is a communication miss, not a refetch.
-        e.sharers = {node}
-        e.was_held = {node}
-        e.owner = node
-        return FetchOutcome(refetch, prev_owner=prev_owner, invalidated=invalidated)
+        s = self.slots.get(block)
+        if s is None:
+            s = self._new_slot(block)
+        owner = self.owners[s]
+        bit = 1 << node
+        out = 0
+        if not upgrade and owner != node:
+            out = (self.held_masks[s] >> node) & 1
+        if owner >= 0 and owner != node:
+            out |= (owner + 1) << OUT_OWNER_SHIFT
+        # Coherence invalidation clears was-held for every displaced
+        # node: their next miss is a communication miss, not a refetch.
+        out |= (self.sharer_masks[s] & ~bit) << OUT_INVAL_SHIFT
+        self.sharer_masks[s] = bit
+        self.held_masks[s] = bit
+        self.owners[s] = node
+        return out
 
     # ------------------------------------------------------------------
     # home-node accesses to its own memory
@@ -165,30 +199,35 @@ class Directory:
     # copy (write).
     # ------------------------------------------------------------------
 
-    def home_read_access(self, block: int, home: int) -> FetchOutcome:
+    def home_read_access(self, block: int, home: int) -> int:
         """The home node reads a block of its own memory."""
-        e = self._entries.get(block)
-        if e is None or e.owner in (NO_OWNER, home):
-            return FetchOutcome(False)
-        prev_owner = e.owner
-        e.owner = NO_OWNER
-        return FetchOutcome(False, prev_owner=prev_owner)
+        s = self.slots.get(block)
+        if s is None:
+            return 0
+        owner = self.owners[s]
+        if owner < 0 or owner == home:
+            return 0
+        self.owners[s] = NO_OWNER
+        return (owner + 1) << OUT_OWNER_SHIFT
 
-    def home_write_access(self, block: int, home: int) -> FetchOutcome:
+    def home_write_access(self, block: int, home: int) -> int:
         """The home node writes a block of its own memory.
 
         All remote copies must be invalidated (and cleared from
         was-held, so their next miss counts as coherence).
         """
-        e = self._entries.get(block)
-        if e is None:
-            return FetchOutcome(False)
-        prev_owner = e.owner if e.owner not in (NO_OWNER, home) else NO_OWNER
-        invalidated = tuple(n for n in e.sharers if n != home)
-        e.owner = NO_OWNER
-        e.sharers = set()
-        e.was_held = set()
-        return FetchOutcome(False, prev_owner=prev_owner, invalidated=invalidated)
+        s = self.slots.get(block)
+        if s is None:
+            return 0
+        owner = self.owners[s]
+        out = 0
+        if owner >= 0 and owner != home:
+            out = (owner + 1) << OUT_OWNER_SHIFT
+        out |= (self.sharer_masks[s] & ~(1 << home)) << OUT_INVAL_SHIFT
+        self.owners[s] = NO_OWNER
+        self.sharer_masks[s] = 0
+        self.held_masks[s] = 0
+        return out
 
     # ------------------------------------------------------------------
     # notifications from nodes
@@ -201,12 +240,12 @@ class Directory:
         scheme — remains in ``was_held``: if it asks again without an
         intervening coherence invalidation, that request is a refetch.
         """
-        e = self._entries.get(block)
-        if e is None:
+        s = self.slots.get(block)
+        if s is None:
             raise ProtocolError(f"writeback of untracked block {block}")
-        if e.owner == node:
-            e.owner = NO_OWNER
-        # Node keeps its sharer/was_held status (non-notifying protocol).
+        if self.owners[s] == node:
+            self.owners[s] = NO_OWNER
+        # Node keeps its sharer/was_held bits (non-notifying protocol).
 
     def flush(self, block: int, node: int) -> None:
         """Explicit flush-and-forget (S-COMA replacement / page unmap).
@@ -214,26 +253,49 @@ class Directory:
         Unlike :meth:`writeback`, the node relinquishes the block
         entirely and the home forgets it ever held it.
         """
-        e = self._entries.get(block)
-        if e is None:
+        s = self.slots.get(block)
+        if s is None:
             return
-        if e.owner == node:
-            e.owner = NO_OWNER
-        e.sharers.discard(node)
-        e.was_held.discard(node)
+        if self.owners[s] == node:
+            self.owners[s] = NO_OWNER
+        keep = ~(1 << node)
+        self.sharer_masks[s] &= keep
+        self.held_masks[s] &= keep
 
     # ------------------------------------------------------------------
     # introspection helpers (used by tests and the harness)
     # ------------------------------------------------------------------
 
     def owner_of(self, block: int) -> int:
-        e = self._entries.get(block)
-        return e.owner if e is not None else NO_OWNER
+        s = self.slots.get(block)
+        return self.owners[s] if s is not None else NO_OWNER
+
+    def sharers_mask(self, block: int) -> int:
+        """Sharer bitmask (the engine's no-allocation sole-copy probe)."""
+        s = self.slots.get(block)
+        return self.sharer_masks[s] if s is not None else 0
+
+    def was_held_mask(self, block: int) -> int:
+        s = self.slots.get(block)
+        return self.held_masks[s] if s is not None else 0
 
     def sharers_of(self, block: int) -> frozenset:
-        e = self._entries.get(block)
-        return frozenset(e.sharers) if e is not None else frozenset()
+        return frozenset(bits_of(self.sharers_mask(block)))
 
     def was_held_by(self, block: int, node: int) -> bool:
-        e = self._entries.get(block)
-        return e is not None and node in e.was_held
+        return bool((self.was_held_mask(block) >> node) & 1)
+
+    def check(self, block: int) -> None:
+        """Raise ProtocolError if ``block``'s invariants are violated."""
+        s = self.slots.get(block)
+        if s is None:
+            return
+        owner = self.owners[s]
+        if owner != NO_OWNER:
+            if self.sharer_masks[s] != 1 << owner:
+                raise ProtocolError(
+                    f"exclusive owner {owner} but "
+                    f"sharers={bits_of(self.sharer_masks[s])}"
+                )
+            if not (self.held_masks[s] >> owner) & 1:
+                raise ProtocolError("owner must be in was_held")

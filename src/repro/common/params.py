@@ -88,6 +88,9 @@ class CostParams:
             "dram_access",
             "local_fill",
             "remote_fetch",
+            "bus_occupancy",
+            "ni_occupancy",
+            "rad_occupancy",
             "link_latency",
             "link_occupancy",
             "soft_trap",

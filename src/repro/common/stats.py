@@ -12,9 +12,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeStats:
-    """Event counters for one SMP node."""
+    """Event counters for one SMP node.
+
+    Slotted: the engine bumps these counters on every miss, and slot
+    descriptors make each increment measurably cheaper than a __dict__
+    attribute store.
+    """
 
     # L1 / intra-node
     l1_hits: int = 0
@@ -53,6 +58,12 @@ class NodeStats:
     def as_dict(self) -> Dict[str, int]:
         """All counters as a plain dict (stable key order)."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def reset(self) -> None:
+        """Zero every counter in place (the StatsRegistry keeps a
+        reference to this object, so it must not be replaced)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
 
 
 @dataclass

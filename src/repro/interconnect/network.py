@@ -37,6 +37,8 @@ class Network:
         "topology",
         "routing",
         "_costs",
+        "_ni_occ",
+        "_rad_occ",
         "nis",
         "rads",
         "links",
@@ -55,6 +57,9 @@ class Network:
         self.topology = topology
         self.routing: RoutingTable = routing_table_for(topology, nodes)
         self._costs = costs
+        # Bound once: charged on every message.
+        self._ni_occ = costs.ni_occupancy
+        self._rad_occ = costs.rad_occupancy
         self.nis: List[BusyResource] = [BusyResource(f"ni{n}") for n in range(nodes)]
         self.rads: List[BusyResource] = [BusyResource(f"rad{n}") for n in range(nodes)]
         self.links: List[BusyResource] = [
@@ -98,13 +103,17 @@ class Network:
         """
         self.messages += 1
         self.round_trips += 1
-        wait = self.nis[src].acquire(now, self._costs.ni_occupancy)
-        depart = now + wait + self._costs.ni_occupancy
-        arrive = self._traverse(src, dst, depart) + self.latency
-        wait = arrive - self.latency - self._costs.ni_occupancy - now
-        wait += self.rads[dst].acquire(
-            arrive, self._costs.rad_occupancy + extra_home_occupancy
-        )
+        ni_occ = self._ni_occ
+        wait = self.nis[src].acquire(now, ni_occ)
+        depart = now + wait + ni_occ
+        if self.links:
+            arrive = self._traverse(src, dst, depart) + self.latency
+            wait = arrive - self.latency - ni_occ - now
+        else:
+            # Uniform fabric: no internal links, the request arrives one
+            # wire latency after departure (the paper's fixed model).
+            arrive = depart + self.latency
+        wait += self.rads[dst].acquire(arrive, self._rad_occ + extra_home_occupancy)
         return wait
 
     def one_way_delay(self, src: int, now: int, dst: int = -1) -> int:
@@ -118,9 +127,9 @@ class Network:
         """
         self.messages += 1
         self.one_ways += 1
-        wait = self.nis[src].acquire(now, self._costs.ni_occupancy)
-        if dst >= 0:
-            self._traverse(src, dst, now + wait + self._costs.ni_occupancy)
+        wait = self.nis[src].acquire(now, self._ni_occ)
+        if dst >= 0 and self.links:
+            self._traverse(src, dst, now + wait + self._ni_occ)
         return wait
 
     def reset(self) -> None:

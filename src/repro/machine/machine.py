@@ -46,11 +46,26 @@ class Machine:
         self.stats = StatsRegistry(nodes=[node.stats for node in self.nodes])
 
         # Page-level characterization (Figure 5 / Table 4):
-        # which nodes requested blocks of each page, whether any node
-        # wrote it, and cumulative refetches per (node, page).
-        self.page_requesters: Dict[int, set] = {}
-        self.page_writers: Dict[int, set] = {}
+        # which nodes requested blocks of each page and which wrote it,
+        # as node *bitmasks* (bit n set = node n), plus cumulative
+        # refetches per (node, page).
+        self.page_requesters: Dict[int, int] = {}
+        self.page_writers: Dict[int, int] = {}
         self.refetch_counts: Dict[int, Dict[int, int]] = {}
+
+    def reset(self) -> None:
+        """Restore fresh-machine state in place for a deterministic
+        re-run: nodes, directory, network, stats, and the page-level
+        characterization maps.  The placement map (``home_of``) is
+        configuration, not run state, and survives."""
+        for node in self.nodes:
+            node.reset()
+        self.directory.reset()
+        self.network.reset()
+        self.stats.barriers_crossed = 0
+        self.page_requesters.clear()
+        self.page_writers.clear()
+        self.refetch_counts.clear()
 
     def node(self, node_id: int) -> Node:
         return self.nodes[node_id]
@@ -83,7 +98,9 @@ class Machine:
         was for write ownership.
         """
         rw = set()
-        for page, requesters in self.page_requesters.items():
-            if len(requesters) >= 2 and self.page_writers.get(page):
+        writers = self.page_writers
+        for page, mask in self.page_requesters.items():
+            # At least two bits set, and somebody wrote it.
+            if mask & (mask - 1) and writers.get(page):
                 rw.add(page)
         return rw

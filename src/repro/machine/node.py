@@ -36,14 +36,19 @@ class Node:
     __slots__ = (
         "node_id",
         "l1s",
+        "l1_arrays",
         "peer_l1s",
+        "peer_arrays",
+        "tag_rows",
         "tlbs",
         "bus",
         "block_cache",
+        "bc_cols",
         "page_cache",
         "tags",
         "xlat",
         "page_table",
+        "page_state",
         "refetch_counters",
         "coherence_lost",
         "stats",
@@ -65,6 +70,17 @@ class Node:
             [l1 for j, l1 in enumerate(self.l1s) if j != i]
             for i in range(cpus)
         ]
+        # The engine's snoop/invalidate loops read raw L1 columns:
+        # precompute (mask, block_at, state_at) triples — all slots and
+        # per-slot peers — so a loop iteration costs zero attribute
+        # loads.  The arrays keep their identity for the node's
+        # lifetime (L1Cache.reset zeroes in place), so these aliases
+        # stay live.
+        self.l1_arrays = [(l1.mask, l1.block_at, l1.state_at) for l1 in self.l1s]
+        self.peer_arrays = [
+            [self.l1_arrays[j] for j in range(cpus) if j != i]
+            for i in range(cpus)
+        ]
         self.tlbs: List[Tlb] = [Tlb() for _ in range(cpus)]
         self.bus = BusyResource(f"bus{node_id}")
 
@@ -72,6 +88,15 @@ class Node:
             self.block_cache = BlockCache.infinite_cache()
         else:
             self.block_cache = BlockCache(caches.block_cache_blocks(space))
+        # The block cache's raw columns as one tuple — None when the
+        # cache is infinite (dict-backed) or absent, in which case the
+        # engine falls back to the method API.  Same identity-stability
+        # argument as l1_arrays.
+        bc = self.block_cache
+        if bc.is_infinite or bc.num_blocks == 0:
+            self.bc_cols = None
+        else:
+            self.bc_cols = (bc.mask, bc.block_at, bc.writable_at, bc.dirty_at)
 
         if config.protocol in ("scoma", "rnuma"):
             frames = caches.page_cache_frames(space)
@@ -79,8 +104,15 @@ class Node:
             frames = 0
         self.page_cache = PageCache(frames, policy=caches.page_replacement)
         self.tags = FineGrainTags(space.blocks_per_page)
+        # The tag store's public row map, cached one attribute hop
+        # closer (same identity-stability argument as page_state).
+        self.tag_rows = self.tags.rows
         self.xlat = TranslationTable()
         self.page_table = PageTable()
+        # The page table's public mapping column, cached one attribute
+        # hop closer: the engine probes it on every miss.  PageTable
+        # mutates and resets the dict in place, so the alias stays live.
+        self.page_state = self.page_table.state
 
         # R-NUMA per-page refetch counters (the RAD's reactive counters).
         self.refetch_counters: Dict[int, int] = {}
@@ -89,6 +121,29 @@ class Node:
         self.coherence_lost: Set[int] = set()
 
         self.stats = NodeStats()
+
+    def reset(self) -> None:
+        """Restore fresh-node state in place for a deterministic re-run.
+
+        Every array-backed structure zeroes its columns without
+        replacing the underlying buffers (their identity is contract —
+        the engine hoists them into locals), and the stats object is
+        zeroed rather than swapped (the machine's StatsRegistry holds a
+        reference to it).
+        """
+        for l1 in self.l1s:
+            l1.reset()
+        for tlb in self.tlbs:
+            tlb.reset()
+        self.bus.reset()
+        self.block_cache.reset()
+        self.page_cache.reset()
+        self.tags.reset()
+        self.xlat.reset()
+        self.page_table.reset()
+        self.refetch_counters.clear()
+        self.coherence_lost.clear()
+        self.stats.reset()
 
     @property
     def cpu_count(self) -> int:

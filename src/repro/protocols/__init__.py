@@ -21,15 +21,19 @@ _POLICIES = {
 }
 
 
-def make_policy(name: str) -> ProtocolPolicy:
-    """Instantiate the policy for a :class:`SystemConfig` protocol name."""
+def make_policy(name: str, config=None) -> ProtocolPolicy:
+    """Instantiate the policy for a :class:`SystemConfig` protocol name.
+
+    Passing the run's ``config`` lets the policy bind per-decision
+    constants (e.g. R-NUMA's relocation threshold) at construction.
+    """
     try:
         cls = _POLICIES[name]
     except KeyError:
         raise ValueError(
             f"unknown protocol {name!r}; expected one of {sorted(_POLICIES)}"
         ) from None
-    return cls()
+    return cls(config)
 
 
 __all__ = [

@@ -13,10 +13,20 @@ from repro.machine.node import Node
 
 
 class ProtocolPolicy(abc.ABC):
-    """Per-protocol OS/RAD behaviour."""
+    """Per-protocol OS/RAD behaviour.
+
+    Policies may be built with the run's :class:`SystemConfig` so
+    per-decision constants (e.g. the relocation threshold) bind once at
+    construction instead of being re-read through ``machine.config``
+    attribute chains on every refetch; a config-less policy falls back
+    to the machine's.
+    """
 
     #: human-readable protocol name
     name: str = "abstract"
+
+    def __init__(self, config=None) -> None:
+        self.config = config
 
     @abc.abstractmethod
     def on_page_fault(self, machine: Machine, node: Node, page: int) -> int:

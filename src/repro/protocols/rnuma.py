@@ -22,6 +22,11 @@ class RNumaPolicy(ProtocolPolicy):
 
     name = "rnuma"
 
+    def __init__(self, config=None) -> None:
+        super().__init__(config)
+        # Bound once: the threshold is consulted on every refetch.
+        self._threshold = config.relocation_threshold if config else None
+
     def on_page_fault(self, machine: Machine, node: Node, page: int) -> int:
         return map_cc_page(machine, node, page)
 
@@ -35,7 +40,9 @@ class RNumaPolicy(ProtocolPolicy):
         if node.page_table.mapping_of(page) != MAP_CC:
             return 0
         count = node.refetch_counters.get(page, 0) + 1
-        threshold = machine.config.relocation_threshold
+        threshold = self._threshold
+        if threshold is None:
+            threshold = machine.config.relocation_threshold
         if count >= threshold:
             # The relocation interrupt fires; the OS moves the page.
             return relocate_page_to_scoma(machine, node, page)

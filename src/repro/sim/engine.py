@@ -34,6 +34,20 @@ further — and stops only at a barrier, at end-of-trace, or when
 another CPU's event comes first.  See docs/architecture.md
 ("Scheduler") for the invariant written out.
 
+Columnar miss path
+------------------
+
+The miss path allocates no objects.  The directory returns a packed
+outcome int (refetch bit, previous owner, invalidation bitmask — see
+:mod:`repro.coherence.directory`) decoded with shifts; sharers iterate
+via ``mask & -mask`` bit tricks.  The block cache answers packed-int
+probes against its ``array('q')``/``bytearray`` columns, page-cache
+recency moves are array-index relinks, and L1 victims are read straight
+out of the L1 arrays instead of materializing (block, state) tuples.
+Hot cross-object references (costs, directory, network) are bound once
+at construction.  See docs/architecture.md ("Memory-system state
+layout").
+
 Traces are consumed in their packed columnar form (one ``array('q')``
 of 64-bit words per CPU, see :mod:`repro.common.records`): the hot
 loop classifies an item by its sign bit and unpacks the address/think/
@@ -53,7 +67,9 @@ Timing constants come from :class:`repro.common.params.CostParams`
 (the paper's Table 2).
 
 :class:`repro.sim.reference.ReferenceEngine` retains the classic
-one-event-per-reference loop as the differential-testing oracle.
+one-event-per-reference loop *and* the pre-columnar set/dict/object
+structures (:mod:`repro.sim.legacy`) as the differential-testing
+oracle.
 """
 
 from __future__ import annotations
@@ -63,6 +79,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.caches.finegrain import BLOCK_INVALID, BLOCK_READONLY, BLOCK_WRITABLE
 from repro.caches.l1 import EMPTY as L1_EMPTY
+from repro.coherence.directory import (
+    NO_OWNER,
+    OUT_INVAL_SHIFT,
+    OUT_OWNER_MASK,
+    OUT_OWNER_SHIFT,
+)
 from repro.coherence.states import (
     EXCLUSIVE,
     INVALID,
@@ -117,7 +139,7 @@ class SimulationEngine:
     ) -> None:
         self.config = config
         self.machine = Machine(config)
-        self.policy = make_policy(config.protocol)
+        self.policy = make_policy(config.protocol, config)
         self._columns, _ = as_columns(traces)
         if len(self._columns) != config.machine.total_cpus:
             raise TraceError(
@@ -157,10 +179,52 @@ class SimulationEngine:
             self._l1_of_cpu.append(node.l1s[slot])
             self._cpu_slot.append(slot)
 
+        # Per-CPU miss context: everything _miss needs that is fixed
+        # for the run, gathered behind one list index.  All members
+        # keep their identity across Machine.reset().
+        self._mctx = []
+        for c in range(mp.total_cpus):
+            node = self.machine.nodes[self._node_of_cpu[c]]
+            slot = self._cpu_slot[c]
+            l1 = node.l1s[slot]
+            self._mctx.append(
+                (
+                    node,
+                    node.node_id,
+                    node.stats,
+                    node.page_state,
+                    node.peer_arrays[slot],
+                    node.bus,
+                    l1.mask,
+                    l1.block_at,
+                    l1.state_at,
+                )
+            )
+
         self._block_shift = space.block_shift
         self._page_shift = space.page_shift
         self._block_page_shift = space.page_shift - space.block_shift
         self._bpp_mask = space.blocks_per_page - 1
+
+        # Hot cross-object references, bound once: every miss reads
+        # these, and the directory/network/stats objects keep their
+        # identity for the life of the machine (reset() works in
+        # place), so per-miss attribute chains are pure overhead.
+        self._costs = config.costs
+        self._directory = self.machine.directory
+        self._network = self.machine.network
+        self._nodes = self.machine.nodes
+        self._dir_slots = self.machine.directory.slots
+        self._dir_owners = self.machine.directory.owners
+        self._dir_sharers = self.machine.directory.sharer_masks
+        self._dir_held = self.machine.directory.held_masks
+        # Uniform-fabric facts for the inlined round trip in
+        # _remote_fetch (the Network object keeps its identity and its
+        # links list is fixed per topology).
+        self._uniform_net = not self.machine.network.links
+        self._net_latency = self.machine.network.latency
+        self._ni_occ = config.costs.ni_occupancy
+        self._rad_occ = config.costs.rad_occupancy
 
         # Deferred source of the per-CPU (accesses, think_cycles, runs)
         # profile: run() accounts l1_hits and busy_cycles analytically
@@ -178,6 +242,21 @@ class SimulationEngine:
         if self._profile_fn is not None:
             return self._profile_fn()
         return [column_profile(column) for column in self._columns]
+
+    def reset(self) -> None:
+        """Restore the engine (machine included) to its pre-run state.
+
+        Back-to-back :meth:`run` calls on one engine then yield
+        bit-identical results: every structure resets in place and the
+        home pre-mapping is reapplied.  Pages first-touched *during* a
+        previous run are pre-mapped local at their (local) home, which
+        is indistinguishable from the lazy mapping the first run
+        performed — the unmapped->local transition charges nothing.
+        """
+        self.machine.reset()
+        for page, home in self.homes.items():
+            self.machine.nodes[home].page_table.map_local(page)
+        self.sched_stats = {}
 
     # ------------------------------------------------------------------
     # main loop
@@ -220,8 +299,12 @@ class SimulationEngine:
         finish = [0] * n_cpus
         # The earliest event is held in hand; the heap holds the rest.
         # Yielding to the heap is then a single heappushpop instead of
-        # a heappush plus a later heappop.
-        heap = [(0, c) for c in range(1, n_cpus)]
+        # a heappush plus a later heappop.  Events are packed as the
+        # single int ``time * n_cpus + cpu`` — order-isomorphic to the
+        # (time, cpu) tuple for 0 <= cpu < n_cpus, so the heap order is
+        # the classic order, but a compare is one int compare and a
+        # yield allocates nothing.
+        heap = list(range(1, n_cpus))  # (t=0, cpu=c) encodes as c
         heapq.heapify(heap)
         t = 0
         cpu = 0
@@ -259,13 +342,14 @@ class SimulationEngine:
                         arrivals.append((t, cpu))
                         if len(arrivals) == n_cpus:
                             release = max(at for at, _ in arrivals) + barrier_cost
+                            base = release * n_cpus
                             for at, c2 in arrivals:
                                 nodes[c2].stats.barrier_wait_cycles += release - at
-                                heappush(heap, (release, c2))
+                                heappush(heap, base + c2)
                             barrier_pushes += n_cpus
                             del barrier_arrivals[ident]
                             self.machine.stats.barriers_crossed += 1
-                            t, cpu = heappop(heap)
+                            t, cpu = divmod(heappop(heap), n_cpus)
                             rare_pops += 1
                         else:
                             running = False
@@ -284,7 +368,7 @@ class SimulationEngine:
                         now = t + ((word >> 1) & think_mask)
                         st = states[idx] if blocks[idx] == b else INVALID
                         nid = node_of[cpu]
-                        latency = miss(cpu, nodes[cpu], l1s[cpu], b, word & 1, st, now)
+                        latency = miss(cpu, b, word & 1, st, now)
                         misses_acc[nid] += 1
                         stall_acc[nid] += latency
                         t = now + 1 + latency
@@ -292,7 +376,7 @@ class SimulationEngine:
                     finish[cpu] = t
                     running = False
                 continue
-            h_t, h_c = heap[0]
+            head = heap[0]
             for word in it:
                 if word < 0:
                     # Barrier: park this cpu until everyone arrives.
@@ -301,7 +385,7 @@ class SimulationEngine:
                     # so parking always hands the machine to the head.
                     arrivals = barrier_arrivals.setdefault(-1 - word, [])
                     arrivals.append((t, cpu))
-                    t, cpu = heappop(heap)
+                    t, cpu = divmod(heappop(heap), n_cpus)
                     rare_pops += 1
                     break
                 # Access: addr/think/write unpacked straight from the
@@ -322,22 +406,23 @@ class SimulationEngine:
                     now = t + ((word >> 1) & think_mask)
                     st = states[idx] if blocks[idx] == b else INVALID
                     nid = node_of[cpu]
-                    latency = miss(cpu, nodes[cpu], l1s[cpu], b, word & 1, st, now)
+                    latency = miss(cpu, b, word & 1, st, now)
                     misses_acc[nid] += 1
                     stall_acc[nid] += latency
                     nt = now + 1 + latency
-                if nt < h_t or (nt == h_t and cpu < h_c):
+                ev = nt * n_cpus + cpu
+                if ev < head:
                     # Still the earliest event machine-wide: run ahead.
                     t = nt
                     continue
-                t, cpu = heappushpop(heap, (nt, cpu))
+                t, cpu = divmod(heappushpop(heap, ev), n_cpus)
                 yields += 1
                 break
             else:
                 # Trace exhausted: the cpu retires at its current clock
                 # (exactly when the classic loop's final pop would be).
                 finish[cpu] = t
-                t, cpu = heappop(heap)
+                t, cpu = divmod(heappop(heap), n_cpus)
                 rare_pops += 1
 
         if barrier_arrivals:
@@ -381,13 +466,21 @@ class SimulationEngine:
 
     # ------------------------------------------------------------------
     # miss path
+    #
+    # Everything below runs once per L1 miss and allocates nothing:
+    # directory outcomes are packed ints, block-cache state is probed
+    # out of flat columns, and L1 victims are read in place.  The read
+    # and write handlers are merged into one body with a shared
+    # install-into-L1 tail, so a miss costs one Python call for the
+    # intra-node cases and two or three for the inter-node ones.
     # ------------------------------------------------------------------
 
-    def _miss(self, cpu: int, node: Node, l1, b: int, w: bool, st: int, now: int) -> int:
+    def _miss(self, cpu: int, b: int, w: int, st: int, now: int) -> int:
         """Service an L1 miss (or write upgrade); returns added latency."""
-        costs = self.config.costs
+        costs = self._costs
         g = b >> self._block_page_shift
-        mapping = node.page_table.mapping_of(g)
+        node, nid, ns, pmap, peers, bus, lmask, lblocks_own, lstates_own = self._mctx[cpu]
+        mapping = pmap.get(g, MAP_UNMAPPED)
         lat = 0
 
         if mapping == MAP_UNMAPPED:
@@ -395,225 +488,368 @@ class SimulationEngine:
             if home is None:
                 # Page absent from the placement map (user-supplied homes):
                 # first-touch it here.
-                home = node.node_id
+                home = nid
                 self.homes[g] = home
-            if home == node.node_id:
+            if home == nid:
                 node.page_table.map_local(g)
                 mapping = MAP_LOCAL
             else:
                 lat += self.policy.on_page_fault(self.machine, node, g)
-                mapping = node.page_table.mapping_of(g)
+                mapping = pmap.get(g, MAP_UNMAPPED)
 
-        # Every miss is a bus transaction on the node's memory bus.
-        lat += node.bus.acquire(now + lat, costs.bus_occupancy)
+        # Every miss is a bus transaction on the node's memory bus
+        # (the BusyResource acquire, inlined: bus_occupancy was
+        # validated non-negative by CostParams).
+        occ = costs.bus_occupancy
+        arrival = now + lat
+        start = bus.free_at
+        if arrival > start:
+            start = arrival
+        bus.free_at = start + occ
+        bus.busy_cycles += occ
+        bus.transactions += 1
+        lat += start - arrival
+        now += lat
 
-        if w:
-            lat += self._write_miss(cpu, node, l1, b, g, st, mapping, now + lat)
-        else:
-            lat += self._read_miss(cpu, node, l1, b, g, mapping, now + lat)
-        return lat
-
-    # -- read ----------------------------------------------------------
-
-    def _read_miss(self, cpu: int, node: Node, l1, b: int, g: int, mapping: int, now: int) -> int:
-        costs = self.config.costs
-        nid = node.node_id
-        slot = self._cpu_slot[cpu]
-
-        supplier = self._local_supplier(node, b, slot)
-        if supplier is not None:
-            sup_l1, sup_state = supplier
-            # MOESI snoop-read: M -> O, E -> S, O stays O.
-            if sup_state == MODIFIED:
-                sup_l1.set_state(b, OWNED)
-            elif sup_state == EXCLUSIVE:
-                sup_l1.set_state(b, SHARED)
-            node.stats.cache_to_cache += 1
-            node.stats.local_fills += 1
-            self._l1_insert(node, l1, b, SHARED, now)
-            return costs.local_fill
-
-        if mapping == MAP_LOCAL:
-            out = self.machine.directory.home_read_access(b, nid)
-            lat = 0
-            if b in node.coherence_lost:
-                node.stats.coherence_misses += 1
-                node.coherence_lost.discard(b)
-            if out.prev_owner >= 0:
-                # Recall the dirty copy from the remote owner.
-                lat += costs.remote_fetch
-                lat += self.machine.network.round_trip_delay(nid, out.prev_owner, now)
-                self._downgrade_node(out.prev_owner, b, g)
-                node.stats.remote_fetches += 1
-            else:
+        if not w:
+            # -- read ------------------------------------------------------
+            state = SHARED
+            supplied = False
+            for pmask, pblocks, pstates in peers:
+                # MOESI snoop-read from a peer L1 holding M/O/E (plain
+                # SHARED copies never respond — the MBus rule that sends
+                # read-only remote misses to the home node, paper
+                # Section 4): M -> O, E -> S, O stays O.
+                idx = b & pmask
+                if pblocks[idx] == b:
+                    pst = pstates[idx]
+                    if pst == MODIFIED:
+                        pstates[idx] = OWNED
+                    elif pst == EXCLUSIVE:
+                        pstates[idx] = SHARED
+                    elif pst != OWNED:
+                        continue
+                    supplied = True
+                    break
+            if supplied:
+                ns.cache_to_cache += 1
+                ns.local_fills += 1
                 lat += costs.local_fill
-                node.stats.local_fills += 1
-            state = EXCLUSIVE if self._sole_copy(node, b, slot, g) else SHARED
-            self._l1_insert(node, l1, b, state, now)
-            return lat
-
-        if mapping == MAP_CC:
-            line = node.block_cache.lookup(b)
-            if line is not None:
-                node.stats.block_cache_hits += 1
-                node.stats.local_fills += 1
-                state = EXCLUSIVE if line.writable and self._no_local_copies(node, b, slot) else SHARED
-                self._l1_insert(node, l1, b, state, now)
-                return costs.local_fill
-            node.stats.block_cache_misses += 1
-            lat = self._remote_fetch(node, b, g, False, now)
-            # The policy may have relocated the page mid-fetch (R-NUMA).
-            if node.page_table.mapping_of(g) == MAP_SCOMA:
-                self._scoma_install(node, b, g, writable=False)
-            else:
-                self._block_cache_install(node, b, g, writable=False, now=now)
-            self._l1_insert(node, l1, b, SHARED, now)
-            return lat
-
-        # MAP_SCOMA
-        off = b & self._bpp_mask
-        tag = node.tags.get(g, off)
-        if tag != BLOCK_INVALID:
-            node.stats.page_cache_hits += 1
-            node.stats.local_fills += 1
-            if node.page_cache.reorders_on_hit:
-                node.page_cache.touch_hit(g)
-            state = EXCLUSIVE if tag == BLOCK_WRITABLE and self._no_local_copies(node, b, slot) else SHARED
-            self._l1_insert(node, l1, b, state, now)
-            return costs.local_fill
-        node.stats.page_cache_misses += 1
-        lat = self._remote_fetch(node, b, g, False, now)
-        if node.page_table.mapping_of(g) == MAP_SCOMA:
-            self._scoma_install(node, b, g, writable=False)
-        self._l1_insert(node, l1, b, SHARED, now)
-        return lat
-
-    # -- write ---------------------------------------------------------
-
-    def _write_miss(self, cpu: int, node: Node, l1, b: int, g: int, st: int, mapping: int, now: int) -> int:
-        costs = self.config.costs
-        nid = node.node_id
-        slot = self._cpu_slot[cpu]
-        directory = self.machine.directory
-
-        if mapping == MAP_LOCAL:
-            out = directory.home_write_access(b, nid)
-            lat = 0
-            if b in node.coherence_lost:
-                node.stats.coherence_misses += 1
-                node.coherence_lost.discard(b)
-            if out.invalidated or out.prev_owner >= 0:
-                # Write-sharing traffic: the home's write displaced
-                # remote copies (Table 4's read-write classification).
-                writers = self.machine.page_writers.get(g)
-                if writers is None:
-                    self.machine.page_writers[g] = {nid}
+            elif mapping == MAP_LOCAL:
+                # Directory.home_read_access, inlined on the bound
+                # columns: a remote exclusive owner (if any) is recalled
+                # and cleared; nothing else changes.
+                ds = self._dir_slots.get(b)
+                if ds is None:
+                    prev_owner = -1
                 else:
-                    writers.add(nid)
-            remote_work = out.prev_owner >= 0 or out.invalidated
-            for victim in out.invalidated:
-                self._invalidate_node_block(victim, b, g)
-            if remote_work:
-                lat += costs.remote_fetch
-                target = out.prev_owner if out.prev_owner >= 0 else out.invalidated[0]
-                lat += self.machine.network.round_trip_delay(nid, target, now)
-                node.stats.remote_fetches += 1
-            elif st != INVALID:
-                lat += costs.sram_access  # local upgrade, no data transfer
+                    prev_owner = self._dir_owners[ds]
+                    if prev_owner == nid:
+                        prev_owner = -1
+                    elif prev_owner >= 0:
+                        self._dir_owners[ds] = -1
+                if b in node.coherence_lost:
+                    ns.coherence_misses += 1
+                    node.coherence_lost.discard(b)
+                if prev_owner >= 0:
+                    # Recall the dirty copy from the remote owner.
+                    lat += costs.remote_fetch
+                    lat += self._round_trip(nid, prev_owner, now, 0)
+                    self._downgrade_node(prev_owner, b, g)
+                    ns.remote_fetches += 1
+                else:
+                    lat += costs.local_fill
+                    ns.local_fills += 1
+                # Sole-copy check, inlined: no peer L1 holds it and the
+                # directory lists no sharers (ds was fetched above).
+                sole = True
+                for pmask, pblocks, _pstates in peers:
+                    if pblocks[b & pmask] == b:
+                        sole = False
+                        break
+                if sole and (ds is None or not self._dir_sharers[ds]):
+                    state = EXCLUSIVE  # no cache anywhere holds it
+            elif mapping == MAP_CC:
+                cols = node.bc_cols
+                if cols is None:
+                    flags = node.block_cache.probe(b)
+                else:
+                    bmask, bblocks, bwrit, bdirt = cols
+                    bidx = b & bmask
+                    if bblocks[bidx] == b:
+                        flags = bwrit[bidx] | (bdirt[bidx] << 1)
+                    else:
+                        flags = -1
+                if flags >= 0:
+                    ns.block_cache_hits += 1
+                    ns.local_fills += 1
+                    lat += costs.local_fill
+                    if flags & 1 and self._no_peer_copies(peers, b):
+                        state = EXCLUSIVE
+                else:
+                    ns.block_cache_misses += 1
+                    lat += self._remote_fetch(node, b, g, False, now)
+                    # The policy may have relocated the page mid-fetch
+                    # (R-NUMA).
+                    if pmap.get(g, MAP_UNMAPPED) == MAP_SCOMA:
+                        self._scoma_install(node, b, g, writable=False)
+                    elif cols is None:
+                        self._block_cache_install(node, b, g, writable=False, now=now)
+                    else:
+                        # _block_cache_install, inlined on the columns.
+                        bmask, bblocks, bwrit, bdirt = cols
+                        bidx = b & bmask
+                        resident = bblocks[bidx]
+                        if (
+                            resident >= 0
+                            and resident != b
+                            and (bwrit[bidx] or bdirt[bidx])
+                        ):
+                            for pmask, pblocks, pstates in node.l1_arrays:
+                                vdx = resident & pmask
+                                if pblocks[vdx] == resident:
+                                    pblocks[vdx] = L1_EMPTY
+                                    pstates[vdx] = INVALID
+                            self._directory.writeback(resident, nid)
+                            vg = resident >> self._block_page_shift
+                            self._network.one_way_delay(
+                                nid, now, dst=self.homes.get(vg, nid)
+                            )
+                            ns.block_cache_writebacks += 1
+                        bblocks[bidx] = b
+                        bwrit[bidx] = 0
+                        bdirt[bidx] = 0
             else:
-                supplier = self._local_supplier(node, b, slot)
-                lat += costs.local_fill
-                node.stats.local_fills += 1
-                if supplier is not None:
-                    node.stats.cache_to_cache += 1
-            self._invalidate_local_copies(node, b, slot)
-            self._l1_insert(node, l1, b, MODIFIED, now)
-            return lat
-
-        if mapping == MAP_CC:
-            if directory.owner_of(b) == nid:
-                # Node already has exclusive rights: intra-node service.
-                lat = self._serve_owned_write_locally(node, b, st, slot)
-                node.block_cache.mark_dirty(b)
-                self._invalidate_local_copies(node, b, slot)
-                self._l1_insert(node, l1, b, MODIFIED, now)
-                return lat
-            holds_copy = st != INVALID or node.block_cache.lookup(b) is not None
-            if not holds_copy:
-                node.stats.block_cache_misses += 1
-            lat = self._remote_fetch(node, b, g, True, now, upgrade=holds_copy)
-            if node.page_table.mapping_of(g) == MAP_SCOMA:
-                self._scoma_install(node, b, g, writable=True)
+                # MAP_SCOMA
+                row = node.tag_rows.get(g)
+                tag = row[b & self._bpp_mask] if row is not None else BLOCK_INVALID
+                if tag != BLOCK_INVALID:
+                    ns.page_cache_hits += 1
+                    ns.local_fills += 1
+                    lat += costs.local_fill
+                    if node.page_cache.reorders_on_hit:
+                        node.page_cache.touch_hit(g)
+                    if tag == BLOCK_WRITABLE and self._no_peer_copies(peers, b):
+                        state = EXCLUSIVE
+                else:
+                    ns.page_cache_misses += 1
+                    lat += self._remote_fetch(node, b, g, False, now)
+                    if pmap.get(g, MAP_UNMAPPED) == MAP_SCOMA:
+                        self._scoma_install(node, b, g, writable=False)
+        else:
+            # -- write -----------------------------------------------------
+            state = MODIFIED
+            if mapping == MAP_LOCAL:
+                # Directory.home_write_access, inlined on the bound
+                # columns: every remote copy is invalidated and cleared
+                # from was-held (their next miss is a coherence miss).
+                ds = self._dir_slots.get(b)
+                if ds is None:
+                    inval = 0
+                    prev_owner = -1
+                else:
+                    prev_owner = self._dir_owners[ds]
+                    if prev_owner == nid:
+                        prev_owner = -1
+                    inval = self._dir_sharers[ds] & ~(1 << nid)
+                    self._dir_owners[ds] = NO_OWNER
+                    self._dir_sharers[ds] = 0
+                    self._dir_held[ds] = 0
+                if b in node.coherence_lost:
+                    ns.coherence_misses += 1
+                    node.coherence_lost.discard(b)
+                if inval or prev_owner >= 0:
+                    # Write-sharing traffic: the home's write displaced
+                    # remote copies (Table 4's read-write classification).
+                    writers = self.machine.page_writers
+                    writers[g] = writers.get(g, 0) | (1 << nid)
+                    m = inval
+                    while m:
+                        low = m & -m
+                        self._invalidate_node_block(low.bit_length() - 1, b, g)
+                        m ^= low
+                    lat += costs.remote_fetch
+                    target = (
+                        prev_owner
+                        if prev_owner >= 0
+                        else (inval & -inval).bit_length() - 1
+                    )
+                    lat += self._round_trip(nid, target, now, 0)
+                    ns.remote_fetches += 1
+                elif st != INVALID:
+                    lat += costs.sram_access  # local upgrade, no data transfer
+                else:
+                    lat += costs.local_fill
+                    ns.local_fills += 1
+                    for pmask, pblocks, pstates in peers:
+                        # M/O/E supply; the canonical encoding makes
+                        # that one compare (state >= EXCLUSIVE).
+                        idx = b & pmask
+                        if pblocks[idx] == b and pstates[idx] >= EXCLUSIVE:
+                            ns.cache_to_cache += 1
+                            break
+            elif mapping == MAP_CC:
+                bc = node.block_cache
+                cols = node.bc_cols
+                ds = self._dir_slots.get(b)
+                if ds is not None and self._dir_owners[ds] == nid:
+                    # Node already has exclusive rights: intra-node
+                    # service — supply from a peer L1 (M/O/E), upgrade a
+                    # resident line in place, or fill from the node store.
+                    supplied = False
+                    for pmask, pblocks, pstates in peers:
+                        idx = b & pmask
+                        if pblocks[idx] == b and pstates[idx] >= EXCLUSIVE:
+                            supplied = True
+                            break
+                    if supplied:
+                        ns.cache_to_cache += 1
+                        ns.local_fills += 1
+                        lat += costs.local_fill
+                    elif st != INVALID:
+                        lat += costs.sram_access
+                    else:
+                        ns.local_fills += 1
+                        lat += costs.local_fill
+                    if cols is None:
+                        bc.mark_dirty(b)
+                    else:
+                        bmask, bblocks, bwrit, bdirt = cols
+                        bidx = b & bmask
+                        if bblocks[bidx] == b:
+                            bwrit[bidx] = 1
+                            bdirt[bidx] = 1
+                else:
+                    if st != INVALID:
+                        holds_copy = True
+                    elif cols is None:
+                        holds_copy = bc.probe(b) >= 0
+                    else:
+                        holds_copy = cols[1][b & cols[0]] == b
+                    if not holds_copy:
+                        ns.block_cache_misses += 1
+                    lat += self._remote_fetch(node, b, g, True, now, holds_copy)
+                    if pmap.get(g, MAP_UNMAPPED) == MAP_SCOMA:
+                        self._scoma_install(node, b, g, writable=True)
+                    elif cols is None:
+                        self._block_cache_install(node, b, g, writable=True, now=now)
+                        bc.mark_dirty(b)
+                    else:
+                        # _block_cache_install + mark_dirty, fused on
+                        # the columns (the fresh line is immediately
+                        # written, so it installs writable and dirty).
+                        bmask, bblocks, bwrit, bdirt = cols
+                        bidx = b & bmask
+                        resident = bblocks[bidx]
+                        if (
+                            resident >= 0
+                            and resident != b
+                            and (bwrit[bidx] or bdirt[bidx])
+                        ):
+                            for pmask, pblocks, pstates in node.l1_arrays:
+                                vdx = resident & pmask
+                                if pblocks[vdx] == resident:
+                                    pblocks[vdx] = L1_EMPTY
+                                    pstates[vdx] = INVALID
+                            self._directory.writeback(resident, nid)
+                            vg = resident >> self._block_page_shift
+                            self._network.one_way_delay(
+                                nid, now, dst=self.homes.get(vg, nid)
+                            )
+                            ns.block_cache_writebacks += 1
+                        bblocks[bidx] = b
+                        bwrit[bidx] = 1
+                        bdirt[bidx] = 1
             else:
-                self._block_cache_install(node, b, g, writable=True, now=now)
-                node.block_cache.mark_dirty(b)
-            self._invalidate_local_copies(node, b, slot)
-            self._l1_insert(node, l1, b, MODIFIED, now)
-            return lat
+                # MAP_SCOMA
+                off = b & self._bpp_mask
+                row = node.tag_rows.get(g)
+                tag = row[off] if row is not None else BLOCK_INVALID
+                if tag == BLOCK_WRITABLE:
+                    supplied = False
+                    for pmask, pblocks, pstates in peers:
+                        idx = b & pmask
+                        if pblocks[idx] == b and pstates[idx] >= EXCLUSIVE:
+                            supplied = True
+                            break
+                    if supplied:
+                        ns.cache_to_cache += 1
+                        ns.local_fills += 1
+                        lat += costs.local_fill
+                    elif st != INVALID:
+                        lat += costs.sram_access
+                    else:
+                        ns.local_fills += 1
+                        lat += costs.local_fill
+                    ns.page_cache_hits += 1
+                    if node.page_cache.reorders_on_hit:
+                        node.page_cache.touch_hit(g)
+                    node.tags.mark_dirty(g, off)
+                else:
+                    holds_copy = st != INVALID or tag == BLOCK_READONLY
+                    ns.page_cache_misses += 1
+                    lat += self._remote_fetch(node, b, g, True, now, holds_copy)
+                    if pmap.get(g, MAP_UNMAPPED) == MAP_SCOMA:
+                        self._scoma_install(node, b, g, writable=True)
+                        node.tags.mark_dirty(g, b & self._bpp_mask)
+            # A write leaves this CPU's L1 as the only copy on the node.
+            for pmask, pblocks, pstates in peers:
+                idx = b & pmask
+                if pblocks[idx] == b:
+                    pblocks[idx] = L1_EMPTY
+                    pstates[idx] = INVALID
 
-        # MAP_SCOMA
-        off = b & self._bpp_mask
-        tag = node.tags.get(g, off)
-        if tag == BLOCK_WRITABLE:
-            lat = self._serve_owned_write_locally(node, b, st, slot)
-            node.stats.page_cache_hits += 1
-            if node.page_cache.reorders_on_hit:
-                node.page_cache.touch_hit(g)
-            node.tags.mark_dirty(g, off)
-            self._invalidate_local_copies(node, b, slot)
-            self._l1_insert(node, l1, b, MODIFIED, now)
-            return lat
-        holds_copy = st != INVALID or tag == BLOCK_READONLY
-        node.stats.page_cache_misses += 1
-        lat = self._remote_fetch(node, b, g, True, now, upgrade=holds_copy)
-        if node.page_table.mapping_of(g) == MAP_SCOMA:
-            self._scoma_install(node, b, g, writable=True)
-            node.tags.mark_dirty(g, b & self._bpp_mask)
-        self._invalidate_local_copies(node, b, slot)
-        self._l1_insert(node, l1, b, MODIFIED, now)
+        # -- common tail: install into the requesting L1 -------------------
+        # The victim is read straight out of the L1 arrays before the
+        # frame is overwritten — no (block, state) tuple materializes —
+        # and the write-back of a dirty victim touches only node/machine
+        # state, never the L1 itself.
+        idx = b & lmask
+        vb = lblocks_own[idx]
+        if vb >= 0 and vb != b:
+            # Dirty victims (M/O — one compare under the canonical
+            # encoding) drain to the node-level backing store.
+            if lstates_own[idx] >= OWNED:
+                vg = vb >> self._block_page_shift
+                vmapping = pmap.get(vg, MAP_UNMAPPED)
+                if vmapping == MAP_CC:
+                    cols = node.bc_cols
+                    if cols is not None:
+                        bmask, bblocks, bwrit, bdirt = cols
+                        vidx = vb & bmask
+                        if bblocks[vidx] == vb:
+                            bwrit[vidx] = 1
+                            bdirt[vidx] = 1
+                        else:
+                            # No block-cache frame (displaced): write
+                            # straight home.
+                            self._directory.writeback(vb, nid)
+                            self._network.one_way_delay(
+                                nid, now, dst=self.homes.get(vg, nid)
+                            )
+                            ns.block_cache_writebacks += 1
+                    elif not node.block_cache.mark_dirty(vb):
+                        self._directory.writeback(vb, nid)
+                        self._network.one_way_delay(
+                            nid, now, dst=self.homes.get(vg, nid)
+                        )
+                        ns.block_cache_writebacks += 1
+                elif vmapping == MAP_SCOMA:
+                    node.tags.mark_dirty(vg, vb & self._bpp_mask)
+                # MAP_LOCAL: local memory absorbs the write-back for free.
+        lblocks_own[idx] = b
+        lstates_own[idx] = state
         return lat
-
-    def _serve_owned_write_locally(self, node: Node, b: int, st: int, slot: int) -> int:
-        """Write to a block the node already owns: supply from a peer L1,
-        the node-level store, or upgrade in place."""
-        costs = self.config.costs
-        supplier = self._local_supplier(node, b, slot)
-        if supplier is not None:
-            node.stats.cache_to_cache += 1
-            node.stats.local_fills += 1
-            return costs.local_fill
-        if st != INVALID:
-            return costs.sram_access  # upgrade of a resident S/O line
-        node.stats.local_fills += 1
-        return costs.local_fill
 
     # -- shared helpers --------------------------------------------------
 
-    def _local_supplier(self, node: Node, b: int, exclude_slot: int):
-        """A peer L1 on this node that must source the block (M/O/E).
-
-        Plain SHARED copies never respond — the MBus rule that sends
-        read-only remote misses to the home node (paper, Section 4).
-        """
-        for l1 in node.peer_l1s[exclude_slot]:
-            idx = b & l1.mask
-            if l1.block_at[idx] == b:
-                st = l1.state_at[idx]
-                if st == MODIFIED or st == OWNED or st == EXCLUSIVE:
-                    return l1, st
-        return None
-
-    def _no_local_copies(self, node: Node, b: int, exclude_slot: int) -> bool:
-        for l1 in node.peer_l1s[exclude_slot]:
-            if l1.block_at[b & l1.mask] == b:
+    def _no_peer_copies(self, peers, b: int) -> bool:
+        """No peer L1 in ``peers`` (the (mask, blocks, states) triples
+        of the other slots on the node) holds the block."""
+        for lmask, lblocks, _lstates in peers:
+            if lblocks[b & lmask] == b:
                 return False
         return True
-
-    def _sole_copy(self, node: Node, b: int, exclude_slot: int, g: int) -> bool:
-        """True when no other cache anywhere holds the block (grants E)."""
-        if not self._no_local_copies(node, b, exclude_slot):
-            return False
-        return not self.machine.directory.sharers_of(b)
 
     def _invalidate_local_copies(self, node: Node, b: int, exclude_slot: int) -> None:
         for l1 in node.peer_l1s[exclude_slot]:
@@ -621,40 +857,6 @@ class SimulationEngine:
             if l1.block_at[idx] == b:
                 l1.block_at[idx] = L1_EMPTY
                 l1.state_at[idx] = INVALID
-
-    def _l1_insert(self, node: Node, l1, b: int, state: int, now: int) -> None:
-        """Insert into an L1, handling the victim write-back.
-
-        The write-back of a dirty victim touches only node/machine
-        state, never the L1 itself, so acting on :meth:`insert`'s
-        return value (instead of a separate ``victim_for`` probe
-        beforehand) is equivalent and saves a set lookup per miss.
-        """
-        victim = l1.insert(b, state)
-        if victim is not None:
-            vb, vstate = victim
-            if vstate == MODIFIED or vstate == OWNED:
-                self._l1_writeback(node, vb, now)
-
-    def _l1_writeback(self, node: Node, vb: int, now: int) -> None:
-        """A dirty L1 line drains to its node-level backing store."""
-        vg = vb >> self._block_page_shift
-        vmapping = node.page_table.mapping_of(vg)
-        if vmapping == MAP_CC:
-            line = node.block_cache.lookup(vb)
-            if line is not None:
-                line.dirty = True
-                line.writable = True
-            else:
-                # No block-cache frame (displaced): write straight home.
-                self.machine.directory.writeback(vb, node.node_id)
-                self.machine.network.one_way_delay(
-                    node.node_id, now, dst=self.homes.get(vg, node.node_id)
-                )
-                node.stats.block_cache_writebacks += 1
-        elif vmapping == MAP_SCOMA:
-            node.tags.mark_dirty(vg, vb & self._bpp_mask)
-        # MAP_LOCAL: local memory absorbs the write-back for free.
 
     def _block_cache_install(self, node: Node, b: int, g: int, writable: bool, now: int) -> None:
         """Install a freshly fetched block, evicting as needed.
@@ -665,19 +867,21 @@ class SimulationEngine:
         (relaxed inclusion, paper Section 4).
         """
         bc = node.block_cache
-        victim = bc.victim_for(b)
-        if victim is not None and (victim.writable or victim.dirty):
-            for l1 in node.l1s:
-                st = l1.invalidate(victim.block)
-                if st == MODIFIED or st == OWNED:
-                    victim.dirty = True
-            self.machine.directory.writeback(victim.block, node.node_id)
-            vg = victim.block >> self._block_page_shift
-            self.machine.network.one_way_delay(
+        victim = bc.victim_probe(b)
+        if victim >= 0 and victim & 3:
+            vb = victim >> 2
+            for lmask, lblocks, lstates in node.l1_arrays:
+                idx = vb & lmask
+                if lblocks[idx] == vb:
+                    lblocks[idx] = L1_EMPTY
+                    lstates[idx] = INVALID
+            self._directory.writeback(vb, node.node_id)
+            vg = vb >> self._block_page_shift
+            self._network.one_way_delay(
                 node.node_id, now, dst=self.homes.get(vg, node.node_id)
             )
             node.stats.block_cache_writebacks += 1
-        bc.insert(b, writable)
+        bc.fill(b, writable)
 
     def _scoma_install(self, node: Node, b: int, g: int, writable: bool) -> None:
         """Record a fetched block in the page-cache tags and LRM order."""
@@ -687,47 +891,127 @@ class SimulationEngine:
 
     # -- inter-node ------------------------------------------------------
 
+    def _round_trip(self, src: int, dst: int, now: int, extra: int) -> int:
+        """Network.round_trip_delay, specialized: the uniform fabric
+        pays NI + RAD queueing only (no internal links), with the
+        resource acquires inlined.  Non-uniform fabrics route through
+        ``_traverse`` exactly as the canonical method does; the
+        conservation and topology differential tests pin equivalence.
+        """
+        net = self._network
+        net.messages += 1
+        net.round_trips += 1
+        ni_occ = self._ni_occ
+        ni = net.nis[src]
+        start = ni.free_at
+        if now > start:
+            start = now
+        ni.free_at = start + ni_occ
+        ni.busy_cycles += ni_occ
+        ni.transactions += 1
+        wait = start - now
+        depart = now + wait + ni_occ
+        if self._uniform_net:
+            arrive = depart + self._net_latency
+        else:
+            arrive = net._traverse(src, dst, depart) + self._net_latency
+            wait = arrive - self._net_latency - ni_occ - now
+        rad = net.rads[dst]
+        rad_occ = self._rad_occ + extra
+        start = rad.free_at
+        if arrive > start:
+            start = arrive
+        rad.free_at = start + rad_occ
+        rad.busy_cycles += rad_occ
+        rad.transactions += 1
+        return wait + start - arrive
+
     def _remote_fetch(
         self, node: Node, b: int, g: int, write: bool, now: int, upgrade: bool = False
     ) -> int:
         """Fetch ``b`` from its home; returns latency including
         contention, refetch policy action, and invalidation fan-out."""
         machine = self.machine
-        costs = self.config.costs
+        costs = self._costs
         nid = node.node_id
+        nbit = 1 << nid
         home = self.homes[g]
 
         if write:
-            out = machine.directory.write_request(b, nid, upgrade=upgrade)
-            extra = costs.invalidate_per_sharer * len(out.invalidated)
-            for victim in out.invalidated:
-                self._invalidate_node_block(victim, b, g)
-            # The home node's own processor caches lose their copies too.
-            self._invalidate_node_block(home, b, g)
+            # Directory.write_request, inlined on the bound columns
+            # (first touch of a block takes the canonical method).
+            ds = self._dir_slots.get(b)
+            if ds is None:
+                out = self._directory.write_request(b, nid, upgrade=upgrade)
+                refetch = out & 1
+                inval = out >> OUT_INVAL_SHIFT
+            else:
+                owners = self._dir_owners
+                owner = owners[ds]
+                refetch = 0
+                if not upgrade and owner != nid:
+                    refetch = (self._dir_held[ds] >> nid) & 1
+                inval = self._dir_sharers[ds] & ~nbit
+                self._dir_sharers[ds] = nbit
+                self._dir_held[ds] = nbit
+                owners[ds] = nid
+            extra = costs.invalidate_per_sharer * inval.bit_count()
+            while inval:
+                low = inval & -inval
+                self._invalidate_node_block(low.bit_length() - 1, b, g)
+                inval ^= low
+            # The home node's own processor caches lose their copies
+            # too.  Only its L1s can hold the block: the home's block
+            # cache and fine-grain tags store *remote* data only, and
+            # ``b`` is local to ``home``.
+            home_node = self._nodes[home]
+            had_copy = False
+            for lmask, lblocks, lstates in home_node.l1_arrays:
+                idx = b & lmask
+                if lblocks[idx] == b:
+                    lblocks[idx] = L1_EMPTY
+                    lstates[idx] = INVALID
+                    had_copy = True
+            if had_copy:
+                home_node.coherence_lost.add(b)
         else:
-            out = machine.directory.read_request(b, nid)
+            # Directory.read_request, inlined on the bound columns.
+            ds = self._dir_slots.get(b)
+            if ds is None:
+                out = self._directory.read_request(b, nid)
+                refetch = out & 1
+                prev_owner = ((out >> OUT_OWNER_SHIFT) & OUT_OWNER_MASK) - 1
+            else:
+                owners = self._dir_owners
+                owner = owners[ds]
+                refetch = (self._dir_held[ds] >> nid) & 1
+                prev_owner = -1
+                if owner >= 0 and owner != nid:
+                    prev_owner = owner
+                    owners[ds] = NO_OWNER
+                elif owner == nid:
+                    owners[ds] = NO_OWNER
+                self._dir_sharers[ds] |= nbit
+                self._dir_held[ds] |= nbit
             extra = 0
-            if out.prev_owner >= 0:
-                self._downgrade_node(out.prev_owner, b, g)
-            self._downgrade_node(home, b, g)
+            if prev_owner >= 0:
+                self._downgrade_node(prev_owner, b, g)
+            # Downgrade the home's copies: L1s only, same argument.
+            for lmask, lblocks, lstates in self._nodes[home].l1_arrays:
+                idx = b & lmask
+                if lblocks[idx] == b:
+                    lstates[idx] = SHARED
 
-        lat = costs.remote_fetch
-        lat += machine.network.round_trip_delay(nid, home, now, extra)
+        lat = costs.remote_fetch + self._round_trip(nid, home, now, extra)
         node.stats.remote_fetches += 1
 
-        requesters = machine.page_requesters.get(g)
-        if requesters is None:
-            machine.page_requesters[g] = {nid}
-        else:
-            requesters.add(nid)
+        requesters = machine.page_requesters
+        requesters[g] = requesters.get(g, 0) | nbit
         if write:
-            writers = machine.page_writers.get(g)
-            if writers is None:
-                machine.page_writers[g] = {nid}
-            else:
-                writers.add(nid)
+            writers = machine.page_writers
+            writers[g] = writers.get(g, 0) | nbit
 
-        if out.refetch:
+        if refetch:
             node.stats.refetches += 1
             machine.record_refetch(nid, g)
             lat += self.policy.on_refetch(machine, node, g)
@@ -738,19 +1022,21 @@ class SimulationEngine:
 
     def _invalidate_node_block(self, victim_node: int, b: int, g: int) -> None:
         """Remove every copy of ``b`` on ``victim_node`` (coherence)."""
-        v = self.machine.nodes[victim_node]
+        v = self._nodes[victim_node]
         had_copy = False
-        for l1 in v.l1s:
-            idx = b & l1.mask
-            if l1.block_at[idx] == b:
-                l1.block_at[idx] = L1_EMPTY
-                l1.state_at[idx] = INVALID
+        for lmask, lblocks, lstates in v.l1_arrays:
+            idx = b & lmask
+            if lblocks[idx] == b:
+                lblocks[idx] = L1_EMPTY
+                lstates[idx] = INVALID
                 had_copy = True
-        if v.block_cache.invalidate(b) is not None:
+        if v.block_cache.invalidate_probe(b) >= 0:
             had_copy = True
-        if v.tags.is_mapped(g):
+        row = v.tag_rows.get(g)
+        if row is not None:
             off = b & self._bpp_mask
-            if v.tags.get(g, off) != BLOCK_INVALID:
+            if row[off] != BLOCK_INVALID:
+                # tags.set keeps the dirty-bit bookkeeping consistent.
                 v.tags.set(g, off, BLOCK_INVALID)
                 had_copy = True
         if had_copy:
@@ -758,19 +1044,17 @@ class SimulationEngine:
 
     def _downgrade_node(self, owner_node: int, b: int, g: int) -> None:
         """The previous exclusive owner keeps a shared, clean copy."""
-        v = self.machine.nodes[owner_node]
-        for l1 in v.l1s:
-            idx = b & l1.mask
-            if l1.block_at[idx] == b:
-                l1.state_at[idx] = SHARED
-        line = v.block_cache.lookup(b)
-        if line is not None:
-            line.dirty = False
-            line.writable = False
-        if v.tags.is_mapped(g):
+        v = self._nodes[owner_node]
+        for lmask, lblocks, lstates in v.l1_arrays:
+            idx = b & lmask
+            if lblocks[idx] == b:
+                lstates[idx] = SHARED
+        v.block_cache.downgrade(b)
+        row = v.tag_rows.get(g)
+        if row is not None:
             off = b & self._bpp_mask
-            if v.tags.get(g, off) == BLOCK_WRITABLE:
-                v.tags.set(g, off, BLOCK_READONLY)
+            if row[off] == BLOCK_WRITABLE:
+                row[off] = BLOCK_READONLY
                 # Data went home; the local copy is now clean.
                 v.tags.clear_dirty(g, off)
 

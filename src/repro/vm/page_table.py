@@ -40,15 +40,27 @@ def mapping_name(state: int) -> str:
 
 
 class PageTable:
-    """Mapping state per page for one node."""
+    """Mapping state per page for one node.
 
-    __slots__ = ("_map",)
+    ``state`` (page -> mapping constant, absent = MAP_UNMAPPED) is a
+    public column on purpose: the simulation engine probes it directly
+    on its miss path — one dict ``get`` instead of a method call — and
+    the dict keeps its identity for the lifetime of the table
+    (:meth:`reset` clears it in place), so the engine may cache a
+    reference to it.
+    """
+
+    __slots__ = ("state",)
 
     def __init__(self) -> None:
-        self._map: Dict[int, int] = {}
+        self.state: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Unmap every page (fresh-machine state for a re-run)."""
+        self.state.clear()
 
     def mapping_of(self, page: int) -> int:
-        return self._map.get(page, MAP_UNMAPPED)
+        return self.state.get(page, MAP_UNMAPPED)
 
     def map_local(self, page: int) -> None:
         self._set(page, MAP_LOCAL)
@@ -60,22 +72,22 @@ class PageTable:
         self._set(page, MAP_SCOMA)
 
     def unmap(self, page: int) -> None:
-        if page not in self._map:
+        if page not in self.state:
             raise ProtocolError(f"page {page} is not mapped")
-        del self._map[page]
+        del self.state[page]
 
     def _set(self, page: int, state: int) -> None:
-        current = self._map.get(page, MAP_UNMAPPED)
+        current = self.state.get(page, MAP_UNMAPPED)
         if current != MAP_UNMAPPED and current != state:
             raise ProtocolError(
                 f"page {page} already mapped {mapping_name(current)}; "
                 f"unmap before remapping {mapping_name(state)}"
             )
-        self._map[page] = state
+        self.state[page] = state
 
     def pages_mapped(self, state: int) -> List[int]:
         """All pages currently in mapping state ``state``."""
-        return [p for p, s in self._map.items() if s == state]
+        return [p for p, s in self.state.items() if s == state]
 
     def __len__(self) -> int:
-        return len(self._map)
+        return len(self.state)

@@ -9,45 +9,85 @@ charges 200 cycles for a hardware shootdown and 2000 for a software
 We still model per-CPU TLB contents so tests can assert that shootdowns
 actually remove stale entries, and so a future extension could charge
 TLB-fill latency.
+
+State layout: live translations for the dense low part of the page
+space are a flat ``bytearray`` presence map indexed by page number
+(grown on demand in chunks), so membership is a C-speed byte load and
+a fill/shootdown is a byte store.  Workload address spaces are dense
+and small (a few thousand pages), so the map stays tiny — but trace
+addresses may legally reach 42 bits, so pages at or above
+:data:`_DENSE_PAGES` fall back to a sparse set instead of growing the
+map toward gigabytes.
 """
 
 from __future__ import annotations
 
-from typing import Set
+_GROW = 256  # grow granularity, in pages
+
+#: pages below this are tracked in the dense bytearray (1 MiB ceiling
+#: per TLB); anything higher lands in the sparse overflow set.
+_DENSE_PAGES = 1 << 20
 
 
 class Tlb:
-    """Set of pages with live translations for one CPU.
+    """Presence map of pages with live translations for one CPU.
 
     Capacity is unbounded: TLB *fills* are not on the paper's cost list
     (per-node page tables keep fill latency low), only shootdowns are.
     """
 
-    __slots__ = ("_entries", "fills", "shootdowns")
+    __slots__ = ("_present", "_sparse", "_live", "fills", "shootdowns")
 
     def __init__(self) -> None:
-        self._entries: Set[int] = set()
+        self._present = bytearray()
+        self._sparse: set = set()
+        self._live = 0
         self.fills = 0
         self.shootdowns = 0
 
     def __contains__(self, page: int) -> bool:
-        return page in self._entries
+        if page < len(self._present):
+            return self._present[page] != 0
+        return page in self._sparse
 
     def fill(self, page: int) -> None:
-        if page not in self._entries:
-            self._entries.add(page)
+        if page < _DENSE_PAGES:
+            if page >= len(self._present):
+                self._present.extend(bytes(page + _GROW - len(self._present)))
+            if not self._present[page]:
+                self._present[page] = 1
+                self._live += 1
+                self.fills += 1
+        elif page not in self._sparse:
+            self._sparse.add(page)
+            self._live += 1
             self.fills += 1
 
     def shoot_down(self, page: int) -> bool:
         """Remove ``page``; returns True if an entry was present."""
         self.shootdowns += 1
-        if page in self._entries:
-            self._entries.remove(page)
+        if page < len(self._present):
+            if self._present[page]:
+                self._present[page] = 0
+                self._live -= 1
+                return True
+            return False
+        if page in self._sparse:
+            self._sparse.remove(page)
+            self._live -= 1
             return True
         return False
 
     def flush(self) -> None:
-        self._entries.clear()
+        self._present[:] = bytes(len(self._present))
+        self._sparse.clear()
+        self._live = 0
+
+    def reset(self) -> None:
+        """Fresh-CPU state: no entries, zeroed counters."""
+        self.flush()
+        self.fills = 0
+        self.shootdowns = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._live

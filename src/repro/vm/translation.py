@@ -6,11 +6,18 @@ physical address back to the global physical address through a one-entry-
 per-page SRAM table (paper, Section 2.2).  In the simulator both sides of
 the translation are page numbers in the single global space, so the table
 is bidirectional bookkeeping: frame index <-> global page.
+
+State layout: the frame→page direction is a flat ``array('q')`` indexed
+by frame (−1 = free), mirroring the SRAM it models; the page→frame
+direction stays a dict because global page numbers are sparse.  Frames
+are recycled through a free-list, so the array never grows past the
+high-water mark of simultaneously mapped pages.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from array import array
+from typing import Dict, List, Optional
 
 from repro.common.errors import ProtocolError
 
@@ -18,23 +25,24 @@ from repro.common.errors import ProtocolError
 class TranslationTable:
     """Bidirectional frame <-> global-page map for one node's RAD."""
 
-    __slots__ = ("_frame_of_page", "_page_of_frame", "_next_frame", "_free_frames")
+    __slots__ = ("_frame_of_page", "_page_of_frame", "_free_frames")
 
     def __init__(self) -> None:
         self._frame_of_page: Dict[int, int] = {}
-        self._page_of_frame: Dict[int, int] = {}
-        self._next_frame = 0
-        self._free_frames: list = []
+        self._page_of_frame: array = array("q")
+        self._free_frames: List[int] = []
 
     def install(self, page: int) -> int:
         """Assign a frame index to a newly mapped S-COMA page."""
         if page in self._frame_of_page:
             raise ProtocolError(f"page {page} already has a translation entry")
-        frame = self._free_frames.pop() if self._free_frames else self._next_frame
-        if frame == self._next_frame:
-            self._next_frame += 1
+        if self._free_frames:
+            frame = self._free_frames.pop()
+            self._page_of_frame[frame] = page
+        else:
+            frame = len(self._page_of_frame)
+            self._page_of_frame.append(page)
         self._frame_of_page[page] = frame
-        self._page_of_frame[frame] = page
         return frame
 
     def remove(self, page: int) -> None:
@@ -42,14 +50,24 @@ class TranslationTable:
         frame = self._frame_of_page.pop(page, None)
         if frame is None:
             raise ProtocolError(f"page {page} has no translation entry")
-        del self._page_of_frame[frame]
+        self._page_of_frame[frame] = -1
         self._free_frames.append(frame)
 
     def frame_of(self, page: int) -> Optional[int]:
         return self._frame_of_page.get(page)
 
     def page_of(self, frame: int) -> Optional[int]:
-        return self._page_of_frame.get(frame)
+        if 0 <= frame < len(self._page_of_frame):
+            page = self._page_of_frame[frame]
+            if page >= 0:
+                return page
+        return None
+
+    def reset(self) -> None:
+        """Fresh-node state: no translations, frame space reclaimed."""
+        self._frame_of_page.clear()
+        del self._page_of_frame[:]
+        del self._free_frames[:]
 
     def __contains__(self, page: int) -> bool:
         return page in self._frame_of_page

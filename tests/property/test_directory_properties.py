@@ -1,20 +1,106 @@
-"""Property-based tests for the directory protocol."""
+"""Property-based tests for the packed-bitmask directory.
+
+Two layers of defence:
+
+- *differential*: the packed directory must be observationally
+  identical — same refetch/prev_owner/invalidated outcome for every
+  request, same owner/sharers/was-held views after every operation —
+  to the frozen set-based transcription
+  (:class:`repro.sim.legacy.LegacyDirectory`) under arbitrary request
+  streams, including the upgrade-write flavour each protocol's miss
+  path issues;
+- *invariants*: the states the bitmask encoding can reach satisfy the
+  same ``check()`` constraints and track an independent reference model
+  of the was-held set.
+"""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.coherence.directory import NO_OWNER, Directory
+from repro.coherence.directory import (
+    NO_OWNER,
+    Directory,
+    bits_of,
+    out_invalidated,
+    out_prev_owner,
+    out_refetch,
+)
+from repro.sim.legacy import LegacyDirectory
 
 NODES = 4
 
 ops = st.lists(
     st.tuples(
-        st.sampled_from(["read", "write", "writeback", "flush", "home_read", "home_write"]),
+        st.sampled_from(
+            [
+                "read",
+                "write",
+                "upgrade",
+                "writeback",
+                "flush",
+                "home_read",
+                "home_write",
+            ]
+        ),
         st.integers(min_value=0, max_value=7),     # block
         st.integers(min_value=0, max_value=NODES - 1),  # node
     ),
     max_size=300,
 )
+
+
+def _outcome_tuple(packed):
+    return (out_refetch(packed), out_prev_owner(packed), out_invalidated(packed))
+
+
+def _legacy_tuple(out):
+    return (bool(out.refetch), out.prev_owner, tuple(sorted(out.invalidated)))
+
+
+@given(ops=ops)
+@settings(max_examples=200, deadline=None)
+def test_packed_directory_matches_frozen_set_based_oracle(ops):
+    """Bit-for-bit FetchOutcome semantics against the legacy directory.
+
+    Every request kind the four protocol miss paths issue (plain and
+    upgrade writes included) must produce the same outcome triple, and
+    the introspectable state must agree after every step.
+    """
+    d = Directory()
+    legacy = LegacyDirectory()
+    for op, block, node in ops:
+        if op == "read":
+            assert _outcome_tuple(d.read_request(block, node)) == _legacy_tuple(
+                legacy.read_request(block, node)
+            )
+        elif op == "write" or op == "upgrade":
+            up = op == "upgrade"
+            assert _outcome_tuple(
+                d.write_request(block, node, upgrade=up)
+            ) == _legacy_tuple(legacy.write_request(block, node, upgrade=up))
+        elif op == "writeback":
+            if block in d:
+                assert legacy.peek(block) is not None
+                d.writeback(block, node)
+                legacy.writeback(block, node)
+            else:
+                assert legacy.peek(block) is None
+        elif op == "flush":
+            d.flush(block, node)
+            legacy.flush(block, node)
+        elif op == "home_read":
+            assert _outcome_tuple(d.home_read_access(block, node)) == _legacy_tuple(
+                legacy.home_read_access(block, node)
+            )
+        else:
+            assert _outcome_tuple(d.home_write_access(block, node)) == _legacy_tuple(
+                legacy.home_write_access(block, node)
+            )
+        assert d.owner_of(block) == legacy.owner_of(block)
+        assert d.sharers_of(block) == legacy.sharers_of(block)
+        for n in range(NODES):
+            assert d.was_held_by(block, n) == legacy.was_held_by(block, n)
+    assert len(d) == len(legacy)
 
 
 @given(ops=ops)
@@ -26,14 +112,14 @@ def test_directory_invariants_hold_under_any_sequence(ops):
         if op == "read":
             out = d.read_request(block, node)
             # Refetch implies the directory believed the node held it.
-            if out.refetch:
+            if out_refetch(out):
                 assert node in held.get(block, set())
             held.setdefault(block, set()).add(node)
-        elif op == "write":
-            d.write_request(block, node)
+        elif op == "write" or op == "upgrade":
+            d.write_request(block, node, upgrade=op == "upgrade")
             held[block] = {node}
         elif op == "writeback":
-            if d.peek(block) is not None:
+            if block in d:
                 d.writeback(block, node)
                 # was_held survives a voluntary write-back
                 if node in held.get(block, set()):
@@ -46,13 +132,11 @@ def test_directory_invariants_hold_under_any_sequence(ops):
         else:
             d.home_write_access(block, node)
             held[block] = set()
-        entry = d.peek(block)
-        if entry is not None:
-            # Core invariants: exclusive owner is the sole sharer and
-            # is in was_held; was_held tracks our reference model.
-            if entry.owner != NO_OWNER:
-                entry.check()
-            assert entry.was_held == held.get(block, set())
+        # Core invariants: exclusive owner is the sole sharer and is in
+        # was_held; was_held tracks our reference model.
+        d.check(block)
+        if block in d:
+            assert set(bits_of(d.was_held_mask(block))) == held.get(block, set())
 
 
 @given(
@@ -67,7 +151,7 @@ def test_write_always_leaves_single_owner(readers, writer):
     out = d.write_request(0, writer)
     assert d.owner_of(0) == writer
     assert d.sharers_of(0) == {writer}
-    assert set(out.invalidated) == set(readers) - {writer}
+    assert set(out_invalidated(out)) == set(readers) - {writer}
 
 
 @given(nodes=st.lists(st.integers(min_value=0, max_value=NODES - 1), min_size=1, max_size=20))
@@ -77,3 +161,16 @@ def test_reads_accumulate_sharers(nodes):
     for n in nodes:
         d.read_request(0, n)
     assert d.sharers_of(0) == set(nodes)
+
+
+def test_packed_outcome_helpers_roundtrip():
+    # NO_OWNER encodes as zero in the owner field; masks above bit 32.
+    d = Directory()
+    out = d.read_request(5, 1)
+    assert not out_refetch(out)
+    assert out_prev_owner(out) == NO_OWNER
+    assert out_invalidated(out) == ()
+    d.write_request(5, 2)
+    out = d.write_request(5, 3)
+    assert out_prev_owner(out) == 2
+    assert out_invalidated(out) == (2,)

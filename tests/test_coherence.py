@@ -3,7 +3,13 @@ the refetch-detection semantics R-NUMA depends on."""
 
 import pytest
 
-from repro.coherence.directory import NO_OWNER, Directory
+from repro.coherence.directory import (
+    NO_OWNER,
+    Directory,
+    out_invalidated,
+    out_prev_owner,
+    out_refetch,
+)
 from repro.coherence.states import (
     EXCLUSIVE,
     INVALID,
@@ -48,8 +54,8 @@ class TestDirectoryReads:
     def test_cold_read_is_not_refetch(self):
         d = Directory()
         out = d.read_request(7, node=1)
-        assert not out.refetch
-        assert out.prev_owner == NO_OWNER
+        assert not out_refetch(out)
+        assert out_prev_owner(out) == NO_OWNER
         assert d.sharers_of(7) == {1}
         assert d.was_held_by(7, 1)
 
@@ -58,20 +64,20 @@ class TestDirectoryReads:
         d = Directory()
         d.read_request(7, node=1)
         out = d.read_request(7, node=1)
-        assert out.refetch
+        assert out_refetch(out)
 
     def test_read_by_other_node_not_refetch(self):
         d = Directory()
         d.read_request(7, node=1)
         out = d.read_request(7, node=2)
-        assert not out.refetch
+        assert not out_refetch(out)
         assert d.sharers_of(7) == {1, 2}
 
     def test_read_downgrades_exclusive_owner(self):
         d = Directory()
         d.write_request(7, node=1)
         out = d.read_request(7, node=2)
-        assert out.prev_owner == 1
+        assert out_prev_owner(out) == 1
         assert d.owner_of(7) == NO_OWNER
         assert d.sharers_of(7) == {1, 2}
 
@@ -80,8 +86,8 @@ class TestDirectoryWrites:
     def test_cold_write_takes_ownership(self):
         d = Directory()
         out = d.write_request(5, node=2)
-        assert not out.refetch
-        assert out.invalidated == ()
+        assert not out_refetch(out)
+        assert out_invalidated(out) == ()
         assert d.owner_of(5) == 2
 
     def test_write_invalidates_sharers(self):
@@ -89,7 +95,7 @@ class TestDirectoryWrites:
         d.read_request(5, node=0)
         d.read_request(5, node=1)
         out = d.write_request(5, node=2)
-        assert set(out.invalidated) == {0, 1}
+        assert set(out_invalidated(out)) == {0, 1}
         assert d.owner_of(5) == 2
         assert d.sharers_of(5) == {2}
 
@@ -100,21 +106,21 @@ class TestDirectoryWrites:
         d.read_request(5, node=0)
         d.write_request(5, node=1)
         out = d.read_request(5, node=0)
-        assert not out.refetch
+        assert not out_refetch(out)
 
     def test_write_after_own_read_is_upgrade_refetch(self):
         d = Directory()
         d.read_request(5, node=0)
         out = d.write_request(5, node=0)
-        assert out.refetch  # node held it (directory's view) and re-asked
+        assert out_refetch(out)  # node held it (directory's view) and re-asked
         assert d.owner_of(5) == 0
 
     def test_write_steals_ownership(self):
         d = Directory()
         d.write_request(5, node=0)
         out = d.write_request(5, node=1)
-        assert out.prev_owner == 0
-        assert 0 in out.invalidated
+        assert out_prev_owner(out) == 0
+        assert 0 in out_invalidated(out)
 
 
 class TestVoluntaryWriteback:
@@ -126,7 +132,7 @@ class TestVoluntaryWriteback:
         d.writeback(9, node=3)
         assert d.owner_of(9) == NO_OWNER
         out = d.read_request(9, node=3)
-        assert out.refetch
+        assert out_refetch(out)
 
     def test_write_between_writeback_and_rerequest_is_coherence(self):
         d = Directory()
@@ -134,7 +140,7 @@ class TestVoluntaryWriteback:
         d.writeback(9, node=3)
         d.write_request(9, node=4)
         out = d.read_request(9, node=3)
-        assert not out.refetch
+        assert not out_refetch(out)
 
     def test_writeback_untracked_raises(self):
         with pytest.raises(ProtocolError):
@@ -149,7 +155,7 @@ class TestFlush:
         d.flush(9, node=3)
         assert not d.was_held_by(9, 3)
         out = d.read_request(9, node=3)
-        assert not out.refetch
+        assert not out_refetch(out)
 
     def test_flush_clears_ownership(self):
         d = Directory()
@@ -166,14 +172,14 @@ class TestHomeAccesses:
         d = Directory()
         d.read_request(9, node=1)  # some remote sharer
         out = d.home_read_access(9, home=0)
-        assert not out.refetch
-        assert out.prev_owner == NO_OWNER
+        assert not out_refetch(out)
+        assert out_prev_owner(out) == NO_OWNER
 
     def test_home_read_recalls_owner(self):
         d = Directory()
         d.write_request(9, node=1)
         out = d.home_read_access(9, home=0)
-        assert out.prev_owner == 1
+        assert out_prev_owner(out) == 1
         assert d.owner_of(9) == NO_OWNER
 
     def test_home_write_invalidates_everyone(self):
@@ -181,35 +187,45 @@ class TestHomeAccesses:
         d.read_request(9, node=1)
         d.read_request(9, node=2)
         out = d.home_write_access(9, home=0)
-        assert set(out.invalidated) == {1, 2}
+        assert set(out_invalidated(out)) == {1, 2}
         assert d.sharers_of(9) == frozenset()
         # Next miss by the displaced node is a coherence miss.
-        assert not d.read_request(9, node=1).refetch
+        assert not out_refetch(d.read_request(9, node=1))
 
     def test_home_access_untracked_block(self):
         d = Directory()
-        assert d.home_read_access(9, home=0).prev_owner == NO_OWNER
-        assert d.home_write_access(9, home=0).invalidated == ()
+        assert out_prev_owner(d.home_read_access(9, home=0)) == NO_OWNER
+        assert out_invalidated(d.home_write_access(9, home=0)) == ()
 
 
 class TestEntryInvariants:
     def test_check_passes_for_valid_states(self):
         d = Directory()
         d.write_request(1, node=0)
-        d.entry(1).check()
+        d.check(1)
         d.read_request(1, node=1)
-        d.entry(1).check()
+        d.check(1)
+        d.check(99)  # untracked blocks vacuously pass
 
     def test_check_detects_corruption(self):
         d = Directory()
         d.write_request(1, node=0)
-        d.entry(1).sharers.add(5)
+        # Corrupt the sharer bitmask column behind the API's back.
+        d.sharer_masks[d.slots[1]] |= 1 << 5
         with pytest.raises(ProtocolError):
-            d.entry(1).check()
+            d.check(1)
 
     def test_len_counts_entries(self):
         d = Directory()
         d.read_request(1, 0)
         d.read_request(2, 0)
         assert len(d) == 2
-        assert d.peek(3) is None
+        assert 1 in d and 3 not in d
+
+    def test_masks_expose_packed_state(self):
+        d = Directory()
+        d.read_request(1, 0)
+        d.read_request(1, 2)
+        assert d.sharers_mask(1) == 0b101
+        assert d.was_held_mask(1) == 0b101
+        assert d.sharers_mask(7) == 0

@@ -55,11 +55,11 @@ class TestMachine:
 
     def test_rw_shared_pages(self):
         machine = Machine(tiny_config("rnuma"))
-        machine.page_requesters[1] = {0, 1}
-        machine.page_writers[1] = {0}
-        machine.page_requesters[2] = {0, 1}   # read-only shared
-        machine.page_requesters[3] = {0}      # private
-        machine.page_writers[3] = {0}
+        machine.page_requesters[1] = 0b11
+        machine.page_writers[1] = 0b01
+        machine.page_requesters[2] = 0b11     # read-only shared
+        machine.page_requesters[3] = 0b01     # private
+        machine.page_writers[3] = 0b01
         assert machine.read_write_shared_pages() == {1}
 
 
