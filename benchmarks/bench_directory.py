@@ -1,0 +1,153 @@
+"""Benchmarks of the directory sharer-set representations.
+
+A sharer-heavy synthetic stream — every block read by many nodes
+spread across the whole machine, then written (the worst case for any
+inexact representation) — driven straight at the directory classes at
+64, 256, and 1024 nodes.  Per representation and size, written to
+``benchmarks/BENCH_directory.json`` by
+``python -m benchmarks.bench_directory``:
+
+- ``requests_per_s`` — raw directory request throughput (the cost of
+  the representation's bookkeeping, isolated from the engine);
+- ``invalidations`` — total invalidation messages the representation
+  fanned out over the stream, and ``inval_ratio`` against the exact
+  full map (the traffic price of the bounded encoding).
+
+``assert_directory_sanity`` checks the deterministic facts: the
+capacity-equivalent parameterizations (``pointers >= nodes``,
+``region_size == 1``) report *identical* invalidation totals to the
+full map, every inexact representation reports at least as many, and
+every entry passes ``check()`` after the stream.  ``benchmarks/
+smoke.py`` runs the 64-node tier so CI exercises every representation;
+the full run covers 1024 nodes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.coherence.directory import (
+    CoarseVectorDirectory,
+    Directory,
+    LimitedPointerDirectory,
+    out_inval_mask,
+)
+
+BENCH_JSON = Path(__file__).parent / "BENCH_directory.json"
+
+NODE_COUNTS = (64, 256, 1024)
+BLOCKS = 64
+#: readers per block, as a fraction of the machine (widely shared).
+SHARE_FRACTION = 0.25
+ROUNDS = 4
+
+
+def _representations(nodes: int) -> Dict[str, Directory]:
+    return {
+        "fullmap": Directory(),
+        "limited-bcast": LimitedPointerDirectory(nodes, 4, "broadcast"),
+        "limited-evict": LimitedPointerDirectory(nodes, 4, "evict"),
+        "coarse-4": CoarseVectorDirectory(nodes, 4),
+        # Capacity-equivalent controls: must match fullmap exactly.
+        "limited-exact": LimitedPointerDirectory(nodes, nodes, "broadcast"),
+        "coarse-exact": CoarseVectorDirectory(nodes, 1),
+    }
+
+
+def _sharer_heavy_stream(nodes: int) -> List[Tuple[str, int, int]]:
+    """(op, block, node): many spread-out readers per block, then one
+    writer, then a partial re-read — repeated.  Deterministic."""
+    readers = max(2, int(nodes * SHARE_FRACTION))
+    stride = max(1, nodes // readers)
+    stream: List[Tuple[str, int, int]] = []
+    for r in range(ROUNDS):
+        for block in range(BLOCKS):
+            for k in range(readers):
+                stream.append(("read", block, (k * stride + r + block) % nodes))
+            stream.append(("write", block, (r + block) % nodes))
+            for k in range(readers // 2):
+                stream.append(("read", block, (k * stride + r + block) % nodes))
+            if r % 2:
+                stream.append(("flush", block, (r + block) % nodes))
+    return stream
+
+
+def _drive(directory: Directory, stream) -> Tuple[int, float]:
+    """Run the stream; returns (total invalidations, seconds)."""
+    invals = 0
+    t0 = time.perf_counter()
+    for op, block, node in stream:
+        if op == "read":
+            invals += out_inval_mask(directory.read_request(block, node)).bit_count()
+        elif op == "write":
+            invals += out_inval_mask(directory.write_request(block, node)).bit_count()
+        else:
+            directory.flush(block, node)
+    return invals, time.perf_counter() - t0
+
+
+def run_directory_comparison(
+    node_counts=NODE_COUNTS, repeats: int = 3
+) -> dict:
+    numbers: dict = {"blocks": BLOCKS, "share_fraction": SHARE_FRACTION, "sizes": {}}
+    for nodes in node_counts:
+        stream = _sharer_heavy_stream(nodes)
+        per_rep = {}
+        for name in _representations(nodes):
+            best = None
+            invals = None
+            for _ in range(repeats):
+                directory = _representations(nodes)[name]
+                run_invals, seconds = _drive(directory, stream)
+                invals = run_invals
+                best = seconds if best is None else min(best, seconds)
+                for block in range(BLOCKS):
+                    directory.check(block)
+            per_rep[name] = {
+                "requests_per_s": len(stream) / best if best else 0.0,
+                "invalidations": invals,
+            }
+        base = per_rep["fullmap"]["invalidations"]
+        for name, row in per_rep.items():
+            row["inval_ratio"] = row["invalidations"] / base if base else 1.0
+        numbers["sizes"][str(nodes)] = {
+            "requests": len(stream),
+            "representations": per_rep,
+        }
+    return numbers
+
+
+def assert_directory_sanity(numbers: dict) -> None:
+    for size, tier in numbers["sizes"].items():
+        reps = tier["representations"]
+        base = reps["fullmap"]["invalidations"]
+        # Capacity-equivalent parameterizations are exact.
+        assert reps["limited-exact"]["invalidations"] == base, size
+        assert reps["coarse-exact"]["invalidations"] == base, size
+        # Inexact representations may only over-invalidate.
+        for name in ("limited-bcast", "limited-evict", "coarse-4"):
+            assert reps[name]["invalidations"] >= base, (size, name)
+        # Saturated broadcast on a widely-shared write really fans out.
+        assert reps["limited-bcast"]["invalidations"] > base, size
+
+
+def main() -> int:
+    numbers = run_directory_comparison()
+    assert_directory_sanity(numbers)
+    BENCH_JSON.write_text(json.dumps(numbers, indent=2) + "\n")
+    for size, tier in numbers["sizes"].items():
+        for name, row in tier["representations"].items():
+            print(
+                f"{size:>5} nodes  {name:14s} "
+                f"{row['requests_per_s'] / 1e3:8.0f}k req/s  "
+                f"inval x{row['inval_ratio']:.2f}"
+            )
+    print(f"wrote {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,23 @@ def main() -> int:
             f"network ok  {name:8s} {t['messages_per_s'] / 1e3:7.0f}k msgs/s  "
             f"cycles {t['cycle_inflation']:.3f}x uniform"
         )
+
+    # Directory representations on the sharer-heavy stream: CI runs the
+    # 64-node tier (the full benchmark goes to 1024); the sanity checks
+    # pin the capacity-equivalence and over-invalidation contracts.
+    from benchmarks.bench_directory import (
+        assert_directory_sanity,
+        run_directory_comparison,
+    )
+
+    numbers = run_directory_comparison(node_counts=(64,), repeats=1)
+    assert_directory_sanity(numbers)
+    for name, row in numbers["sizes"]["64"]["representations"].items():
+        print(
+            f"directory ok  {name:14s} "
+            f"{row['requests_per_s'] / 1e3:7.0f}k req/s  "
+            f"inval x{row['inval_ratio']:.2f}"
+        )
     return 0
 
 

@@ -6,10 +6,14 @@ Commands
     Show the workload suite (Table 3).
 ``topologies``
     Show the interconnect topologies (links, mean/max hops per size).
+``directories``
+    Show the directory sharer-set representations and their knobs.
 ``run APP``
     Simulate one application under one or all protocols, optionally on
     a non-uniform interconnect topology (``--topology``,
-    ``--link-latency``, ``--link-occupancy``).
+    ``--link-latency``, ``--link-occupancy``) and/or with a scalable
+    directory representation (``--directory``, ``--dir-pointers``,
+    ``--dir-overflow``, ``--dir-region``).
 ``trace-stats APP``
     Inspect an application's compiled trace: per-CPU reference counts,
     barriers, pages touched, and the packed-buffer footprint.
@@ -21,7 +25,7 @@ Commands
     Run one of the design-choice ablations.
 ``reproduce``
     Regenerate every figure and table (plus the ablations and the
-    cluster-size and topology extensions) in one deduplicated sweep,
+    cluster-size, topology, and directory extensions) in one sweep,
     fanned out over ``--jobs`` worker processes and backed by the
     persistent result store, so a second invocation does near-zero
     simulation work.
@@ -37,12 +41,14 @@ from typing import List, Optional
 
 from repro.common.addressing import AddressSpace
 from repro.common.params import (
+    DirectoryParams,
     base_ccnuma_config,
     base_rnuma_config,
     base_scoma_config,
     ideal_config,
 )
 from repro.experiments import (
+    compute_directory_scaling,
     compute_figure5,
     compute_figure6,
     compute_figure7,
@@ -54,12 +60,14 @@ from repro.experiments import (
     compute_scaling,
     compute_table4,
     compute_topology_scaling,
+    directory_scaling_jobs,
     figure5_jobs,
     figure6_jobs,
     figure7_jobs,
     figure8_jobs,
     figure9_jobs,
     format_ablation,
+    format_directory_scaling,
     format_figure5,
     format_figure6,
     format_figure7,
@@ -199,6 +207,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CYCLES",
         help="per-link busy time on non-uniform topologies",
     )
+    run_p.add_argument(
+        "--directory",
+        choices=DirectoryParams._REPRESENTATIONS,
+        default="fullmap",
+        help="directory sharer-set representation (default: fullmap, exact)",
+    )
+    run_p.add_argument(
+        "--dir-pointers",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="pointer slots for --directory limited (default: 4)",
+    )
+    run_p.add_argument(
+        "--dir-overflow",
+        choices=DirectoryParams._OVERFLOW_POLICIES,
+        default="broadcast",
+        help="limited-pointer overflow policy (default: broadcast)",
+    )
+    run_p.add_argument(
+        "--dir-region",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="nodes per bit for --directory coarse (default: 4)",
+    )
+
+    sub.add_parser(
+        "directories", help="show the directory sharer-set representations"
+    )
 
     ts_p = sub.add_parser(
         "trace-stats", help="inspect an application's compiled trace"
@@ -261,8 +299,21 @@ def _cmd_topologies(args: argparse.Namespace) -> None:
             )
 
 
+def _cmd_directories() -> None:
+    rows = (
+        ("fullmap", "exact bitmask, one bit per node (the seed model)"),
+        ("limited", "i owner pointers (--dir-pointers); overflow either "
+                    "broadcasts or evicts (--dir-overflow)"),
+        ("coarse", "one bit per --dir-region nodes; invalidations hit "
+                   "whole regions"),
+    )
+    print(f"{'representation':<15} behavior")
+    for name, text in rows:
+        print(f"{name:<15} {text}")
+
+
 def _run_config_overrides(args: argparse.Namespace, config):
-    """Apply the interconnect knobs of ``run`` to a protocol config."""
+    """Apply the interconnect/directory knobs of ``run`` to a config."""
     if args.topology != "uniform":
         config = replace(config, topology=args.topology)
     costs = config.costs
@@ -272,6 +323,16 @@ def _run_config_overrides(args: argparse.Namespace, config):
         costs = replace(costs, link_occupancy=args.link_occupancy)
     if costs is not config.costs:
         config = replace(config, costs=costs)
+    if args.directory != "fullmap":
+        config = replace(
+            config,
+            directory=DirectoryParams(
+                representation=args.directory,
+                pointers=args.dir_pointers,
+                overflow=args.dir_overflow,
+                region_size=args.dir_region,
+            ),
+        )
     return config
 
 
@@ -370,6 +431,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
         jobs += jobs_fn(scale, apps)
     jobs += scaling_jobs(scale, apps)
     jobs += topology_scaling_jobs(scale, apps)
+    jobs += directory_scaling_jobs(scale, apps)
     unique = len({job.key for job in jobs})
     print(
         f"reproduce: {len(jobs)} simulations, {unique} unique after "
@@ -422,6 +484,11 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
             compute_topology_scaling(scale=scale, apps=apps, executor=executor)
         )
     )
+    sections.append(
+        format_directory_scaling(
+            compute_directory_scaling(scale=scale, apps=apps, executor=executor)
+        )
+    )
     print("\n\n".join(sections))
     # Render-phase cache misses may hit the store too; keep that I/O in
     # the store row, not the render row.
@@ -447,6 +514,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_list()
     elif args.command == "topologies":
         _cmd_topologies(args)
+    elif args.command == "directories":
+        _cmd_directories()
     elif args.command == "run":
         _cmd_run(args)
     elif args.command == "trace-stats":

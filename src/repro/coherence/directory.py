@@ -37,8 +37,11 @@ bits 1..31            ``prev_owner + 1`` — node that held the block
                       it has been downgraded (read) or invalidated
                       (write) and the caller must fix its local caches
 bits 32..             bitmask of nodes whose copies this request
-                      invalidated (write requests only; excludes the
-                      requester)
+                      invalidated (excludes the requester).  Writes
+                      carry the displaced sharer set; *reads* carry a
+                      non-zero mask only under the limited-pointer
+                      "evict" overflow policy, where admitting a new
+                      sharer can displace an existing pointer
 ====================  ================================================
 
 Decode with :func:`out_refetch` / :func:`out_prev_owner` /
@@ -48,13 +51,45 @@ paths); the engine decodes inline with shifts and iterates sharers with
 layout must stay observationally identical to lives in
 :mod:`repro.sim.legacy` (see
 ``tests/property/test_memory_layout_differential.py``).
+
+Scalable representations
+------------------------
+
+:class:`Directory` itself is the exact full-map: ``sharer_masks`` holds
+one bit per node, always precisely the set of believed sharers.  Two
+subclasses implement the classic space-bounded encodings, selected by
+:func:`make_directory` from ``SystemConfig.directory``:
+
+:class:`LimitedPointerDirectory`
+    Dir_i-style: at most ``pointers`` sharers are tracked exactly.  On
+    overflow, policy ``"broadcast"`` saturates the entry (the mask
+    becomes all-nodes, so the next write broadcasts invalidations);
+    policy ``"evict"`` invalidates the lowest-numbered existing sharer
+    to free a pointer, reporting the victim in the read outcome's
+    invalidation bits.
+:class:`CoarseVectorDirectory`
+    Coarse-vector: every sharer bit covers ``region_size`` consecutive
+    nodes, so a reader admits its whole region and a write invalidates
+    whole regions.
+
+Both keep the **same column layout** (``slots``/``owners``/
+``sharer_masks``/``held_masks``) with ``sharer_masks`` holding the
+*effective* conservative mask — always a superset of the true sharer
+set, never a subset, so over-invalidation is the only possible error
+direction.  ``owners`` stays an exact pointer and ``held_masks`` stays
+an exact per-node bit in every representation: was-held is the paper's
+separate refetch-detection state, orthogonal to how sharers are
+encoded.  The engine's read-only probes (owner check, sole-copy check)
+therefore work unchanged; only the mutating requests differ, which is
+why the engine routes them through the canonical methods for non-full-
+map representations (see ``SimulationEngine._dir_inline``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.common.errors import ProtocolError
+from repro.common.errors import ConfigurationError, ProtocolError
 
 NO_OWNER = -1
 
@@ -292,6 +327,8 @@ class Directory:
             return
         owner = self.owners[s]
         if owner != NO_OWNER:
+            if not (self.sharer_masks[s] >> owner) & 1:
+                raise ProtocolError(f"owner {owner} must be in sharers")
             if self.sharer_masks[s] != 1 << owner:
                 raise ProtocolError(
                     f"exclusive owner {owner} but "
@@ -299,3 +336,276 @@ class Directory:
                 )
             if not (self.held_masks[s] >> owner) & 1:
                 raise ProtocolError("owner must be in was_held")
+
+
+class LimitedPointerDirectory(Directory):
+    """Dir_i-style limited-pointer directory.
+
+    Up to ``pointers`` sharers per block are tracked exactly (the mask
+    simply never grows past that many bits).  Admitting a sharer beyond
+    capacity triggers the overflow policy:
+
+    ``"broadcast"``
+        The entry saturates: ``modes[s]`` flips to 1 and the sharer
+        mask becomes all-nodes, so the next write-ownership grant
+        invalidates every other node.  A write (or home write)
+        collapses the entry back to the exact single-sharer state.
+    ``"evict"``
+        The entry stays exact: the lowest-numbered existing sharer is
+        displaced to free its pointer.  The victim is reported in the
+        *read* outcome's invalidation bits (the one case where a read
+        carries them) and loses its was-held status — its next miss is
+        a coherence miss, never a refetch, exactly as for a
+        write-driven invalidation.
+
+    With ``pointers >= nodes`` overflow never fires and every operation
+    is bit-identical to the full-map base class.
+    """
+
+    __slots__ = ("nodes", "pointers", "evict_on_overflow", "all_mask", "modes")
+
+    def __init__(
+        self, nodes: int, pointers: int = 4, overflow: str = "broadcast"
+    ) -> None:
+        super().__init__()
+        if nodes < 1:
+            raise ConfigurationError("directory needs at least one node")
+        if pointers < 1:
+            raise ConfigurationError("directory pointers must be positive")
+        if overflow not in ("broadcast", "evict"):
+            raise ConfigurationError(
+                f"unknown overflow policy {overflow!r}; "
+                "expected 'broadcast' or 'evict'"
+            )
+        self.nodes = nodes
+        self.pointers = pointers
+        self.evict_on_overflow = overflow == "evict"
+        self.all_mask = (1 << nodes) - 1
+        #: per-slot 0 = exact pointer set, 1 = overflowed to broadcast.
+        self.modes: List[int] = []
+
+    def _new_slot(self, block: int) -> int:
+        s = super()._new_slot(block)
+        self.modes.append(0)
+        return s
+
+    def reset(self) -> None:
+        super().reset()
+        del self.modes[:]
+
+    def read_request(self, block: int, node: int) -> int:
+        s = self.slots.get(block)
+        if s is None:
+            s = self._new_slot(block)
+        owner = self.owners[s]
+        out = (self.held_masks[s] >> node) & 1
+        if owner >= 0 and owner != node:
+            out |= (owner + 1) << OUT_OWNER_SHIFT
+            self.owners[s] = NO_OWNER
+        elif owner == node:
+            self.owners[s] = NO_OWNER
+        bit = 1 << node
+        self.held_masks[s] |= bit
+        mask = self.sharer_masks[s]
+        if mask & bit:
+            # Already listed (saturated entries list everyone).
+            return out
+        mask |= bit
+        if mask.bit_count() > self.pointers:
+            if self.evict_on_overflow:
+                # Deterministic pointer replacement: displace the
+                # lowest-numbered sharer that is not the requester.
+                victims = mask & ~bit
+                victim = victims & -victims
+                mask ^= victim
+                self.held_masks[s] &= ~victim
+                out |= victim << OUT_INVAL_SHIFT
+            else:
+                self.modes[s] = 1
+                mask = self.all_mask
+        self.sharer_masks[s] = mask
+        return out
+
+    def write_request(self, block: int, node: int, upgrade: bool = False) -> int:
+        out = Directory.write_request(self, block, node, upgrade=upgrade)
+        # Ownership collapses the entry to one exact sharer.
+        self.modes[self.slots[block]] = 0
+        return out
+
+    def home_write_access(self, block: int, home: int) -> int:
+        out = Directory.home_write_access(self, block, home)
+        s = self.slots.get(block)
+        if s is not None:
+            self.modes[s] = 0
+        return out
+
+    def flush(self, block: int, node: int) -> None:
+        s = self.slots.get(block)
+        if s is None:
+            return
+        if self.owners[s] == node:
+            self.owners[s] = NO_OWNER
+        self.held_masks[s] &= ~(1 << node)
+        if not self.modes[s]:
+            self.sharer_masks[s] &= ~(1 << node)
+        # A saturated entry has no pointer to remove: the mask stays
+        # all-nodes (conservative) until a write collapses it.
+
+    def check(self, block: int) -> None:
+        s = self.slots.get(block)
+        if s is None:
+            return
+        mask = self.sharer_masks[s]
+        if mask & ~self.all_mask:
+            raise ProtocolError(
+                f"sharer mask {mask:#x} has bits beyond {self.nodes} nodes"
+            )
+        if self.modes[s]:
+            if mask != self.all_mask:
+                raise ProtocolError(
+                    "overflowed (broadcast) entry must list every node, "
+                    f"got {bits_of(mask)}"
+                )
+        elif mask.bit_count() > self.pointers:
+            raise ProtocolError(
+                f"{mask.bit_count()} sharers exceed "
+                f"{self.pointers} hardware pointers"
+            )
+        if self.held_masks[s] & ~mask:
+            raise ProtocolError("was_held must be a subset of sharers")
+        owner = self.owners[s]
+        if owner != NO_OWNER:
+            if self.modes[s]:
+                raise ProtocolError("exclusive owner in an overflowed entry")
+            if mask != 1 << owner:
+                raise ProtocolError(
+                    f"exclusive owner {owner} but sharers={bits_of(mask)}"
+                )
+            if not (self.held_masks[s] >> owner) & 1:
+                raise ProtocolError("owner must be in was_held")
+
+
+class CoarseVectorDirectory(Directory):
+    """Coarse-vector directory: one sharer bit per ``region_size`` nodes.
+
+    The stored mask is always region-aligned — a union of whole
+    regions — so admitting one reader admits its region-mates as
+    presumed sharers and a write-ownership grant invalidates whole
+    regions.  ``owners`` stays an exact node pointer (a dirty block has
+    exactly one identified owner in hardware too), and ``held_masks``
+    stays exact per node.
+
+    A flush cannot clear the flushing node's region bit (region-mates
+    may still genuinely share the block), except when the node's region
+    contains only itself — which is what makes ``region_size == 1``
+    bit-identical to the full-map base class.
+    """
+
+    __slots__ = ("nodes", "region_size", "all_mask", "region_masks")
+
+    def __init__(self, nodes: int, region_size: int = 4) -> None:
+        super().__init__()
+        if nodes < 1:
+            raise ConfigurationError("directory needs at least one node")
+        if region_size < 1:
+            raise ConfigurationError("directory region_size must be positive")
+        self.nodes = nodes
+        self.region_size = region_size
+        self.all_mask = (1 << nodes) - 1
+        full = (1 << region_size) - 1
+        #: node -> the mask of its whole region, clipped to real nodes.
+        self.region_masks: List[int] = [
+            (full << (n - n % region_size)) & self.all_mask
+            for n in range(nodes)
+        ]
+
+    def expand(self, mask: int) -> int:
+        """Region closure of ``mask`` (cold-path/check helper)."""
+        out = 0
+        while mask:
+            low = mask & -mask
+            out |= self.region_masks[low.bit_length() - 1]
+            mask &= ~out
+        return out
+
+    def read_request(self, block: int, node: int) -> int:
+        s = self.slots.get(block)
+        if s is None:
+            s = self._new_slot(block)
+        owner = self.owners[s]
+        out = (self.held_masks[s] >> node) & 1
+        if owner >= 0 and owner != node:
+            out |= (owner + 1) << OUT_OWNER_SHIFT
+            self.owners[s] = NO_OWNER
+        elif owner == node:
+            self.owners[s] = NO_OWNER
+        self.sharer_masks[s] |= self.region_masks[node]
+        self.held_masks[s] |= 1 << node
+        return out
+
+    def write_request(self, block: int, node: int, upgrade: bool = False) -> int:
+        out = Directory.write_request(self, block, node, upgrade=upgrade)
+        # The writer's region is the finest grain the vector can hold.
+        self.sharer_masks[self.slots[block]] = self.region_masks[node]
+        return out
+
+    def flush(self, block: int, node: int) -> None:
+        s = self.slots.get(block)
+        if s is None:
+            return
+        if self.owners[s] == node:
+            self.owners[s] = NO_OWNER
+        bit = 1 << node
+        self.held_masks[s] &= ~bit
+        if self.region_masks[node] == bit:
+            # Single-node region: removing it keeps the mask
+            # region-aligned and loses no information.
+            self.sharer_masks[s] &= ~bit
+
+    def check(self, block: int) -> None:
+        s = self.slots.get(block)
+        if s is None:
+            return
+        mask = self.sharer_masks[s]
+        if mask & ~self.all_mask:
+            raise ProtocolError(
+                f"sharer mask {mask:#x} has bits beyond {self.nodes} nodes"
+            )
+        if mask != self.expand(mask):
+            raise ProtocolError(
+                f"sharer mask {bits_of(mask)} is not a union of "
+                f"{self.region_size}-node regions"
+            )
+        if self.held_masks[s] & ~mask:
+            raise ProtocolError("was_held must be a subset of sharers")
+        owner = self.owners[s]
+        if owner != NO_OWNER:
+            if not (mask >> owner) & 1:
+                raise ProtocolError(f"owner {owner} must be in sharers")
+            if mask != self.region_masks[owner]:
+                raise ProtocolError(
+                    f"exclusive owner {owner} but sharers={bits_of(mask)} "
+                    "is not exactly the owner's region"
+                )
+            if not (self.held_masks[s] >> owner) & 1:
+                raise ProtocolError("owner must be in was_held")
+
+
+def make_directory(params, nodes: int) -> Directory:
+    """Build the directory variant a ``DirectoryParams`` describes.
+
+    ``params`` may be ``None`` (exact full-map) or any object with
+    ``representation`` / ``pointers`` / ``overflow`` / ``region_size``
+    attributes; keeping this duck-typed avoids importing
+    :mod:`repro.common.params` (which must stay import-cycle-free).
+    """
+    if params is None:
+        return Directory()
+    rep = params.representation
+    if rep == "fullmap":
+        return Directory()
+    if rep == "limited":
+        return LimitedPointerDirectory(nodes, params.pointers, params.overflow)
+    if rep == "coarse":
+        return CoarseVectorDirectory(nodes, params.region_size)
+    raise ConfigurationError(f"unknown directory representation {rep!r}")

@@ -178,6 +178,62 @@ class CacheParams:
 
 
 @dataclass(frozen=True)
+class DirectoryParams:
+    """Sharer-set representation of the inter-node directory.
+
+    The paper's machines are small enough that an exact full-map bitmask
+    per block is free; at 256-1024 nodes the classic scalable encodings
+    from the directory literature trade precision for state:
+
+    - ``"fullmap"`` — one exact bit per node (the default, and
+      bit-identical to the frozen oracle in :mod:`repro.sim.legacy`).
+    - ``"limited"`` — Dir_i-style: up to ``pointers`` exact sharer
+      entries per block.  On pointer overflow the ``overflow`` policy
+      decides: ``"broadcast"`` saturates the entry so the next write
+      invalidates every node (Dir_i_B), while ``"evict"``
+      deterministically invalidates the lowest-numbered existing
+      sharer to make room (Dir_i_NB-style pointer replacement).
+    - ``"coarse"`` — coarse-vector: each sharer bit covers
+      ``region_size`` consecutive nodes, so invalidations fan out to
+      whole regions (Dir_i_CV_r's overflowed regime).
+
+    Inexact representations obey a conservative equivalence contract
+    (pinned by ``tests/property/test_directory_repr_differential.py``):
+    they behave bit-identically to full-map while the sharer count
+    stays within capacity (``pointers >= nodes``, or ``region_size ==
+    1``), and may only ever *over*-invalidate — never under-invalidate
+    — beyond it.
+    """
+
+    representation: str = "fullmap"
+    #: hardware pointer count for ``"limited"``.
+    pointers: int = 4
+    #: overflow policy for ``"limited"``: "broadcast" or "evict".
+    overflow: str = "broadcast"
+    #: nodes per sharer bit for ``"coarse"``.
+    region_size: int = 4
+
+    _REPRESENTATIONS = ("fullmap", "limited", "coarse")
+    _OVERFLOW_POLICIES = ("broadcast", "evict")
+
+    def __post_init__(self) -> None:
+        if self.representation not in self._REPRESENTATIONS:
+            raise ConfigurationError(
+                f"unknown directory representation {self.representation!r}; "
+                f"expected one of {self._REPRESENTATIONS}"
+            )
+        if self.overflow not in self._OVERFLOW_POLICIES:
+            raise ConfigurationError(
+                f"unknown directory overflow policy {self.overflow!r}; "
+                f"expected one of {self._OVERFLOW_POLICIES}"
+            )
+        if self.pointers < 1:
+            raise ConfigurationError("directory pointers must be positive")
+        if self.region_size < 1:
+            raise ConfigurationError("directory region_size must be positive")
+
+
+@dataclass(frozen=True)
 class MachineParams:
     """Cluster shape: number of SMP nodes and processors per node."""
 
@@ -227,6 +283,9 @@ class SystemConfig:
     costs: CostParams = field(default_factory=CostParams)
     space: AddressSpace = field(default_factory=AddressSpace)
     topology: str = "uniform"
+    #: inter-node directory sharer-set representation; the default
+    #: exact full-map is bit-identical to the pre-directory-knob model.
+    directory: DirectoryParams = field(default_factory=DirectoryParams)
     relocation_threshold: int = 64
     #: R-NUMA relocation implementation (Section 3.2's two designs):
     #: "local" — an aggressive implementation moves the blocks the node
@@ -313,6 +372,8 @@ def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
         space=AddressSpace(**data["space"]),
         # Absent in payloads serialized before the topology subsystem.
         topology=data.get("topology", "uniform"),
+        # Absent in payloads serialized before the directory knob.
+        directory=DirectoryParams(**data.get("directory", {})),
         relocation_threshold=data["relocation_threshold"],
         relocation_mode=data["relocation_mode"],
     )

@@ -45,6 +45,8 @@ class NodeStats:
     remote_fetches: int = 0
     refetches: int = 0            # capacity/conflict misses seen at the home
     coherence_misses: int = 0     # misses caused by inter-node invalidation
+    invalidations_sent: int = 0   # invalidation messages the directory fanned
+                                  # out on behalf of this node's requests
 
     # R-NUMA
     relocations: int = 0

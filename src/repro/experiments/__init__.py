@@ -46,7 +46,10 @@ from repro.experiments.extension_scaling import (
     scaling_jobs,
 )
 from repro.experiments.topology_scaling import (
+    compute_directory_scaling,
     compute_topology_scaling,
+    directory_scaling_jobs,
+    format_directory_scaling,
     format_topology_scaling,
     topology_scaling_jobs,
 )
@@ -71,6 +74,7 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "cc_config",
     "clear_default_cache",
+    "compute_directory_scaling",
     "compute_figure5",
     "compute_placement_ablation",
     "compute_relocation_ablation",
@@ -79,8 +83,10 @@ __all__ = [
     "compute_topology_scaling",
     "default_cache",
     "default_store_dir",
+    "directory_scaling_jobs",
     "ensure_executor",
     "format_ablation",
+    "format_directory_scaling",
     "format_scaling",
     "format_topology_scaling",
     "compute_figure6",

@@ -49,7 +49,10 @@ from repro.workloads.registry import build_program
 #: v3: configuration identity grew the interconnect-topology knobs
 #: (SystemConfig.topology, CostParams.link_latency/link_occupancy);
 #: pre-topology entries no longer match any run key.
-STORE_SCHEMA_VERSION = 3
+#: v4: configuration identity grew the directory-representation knobs
+#: (SystemConfig.directory) and NodeStats grew ``invalidations_sent``;
+#: pre-directory entries no longer match any run key.
+STORE_SCHEMA_VERSION = 4
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_STORE_DIR"

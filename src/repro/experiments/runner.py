@@ -32,6 +32,7 @@ def config_key(config: SystemConfig) -> Tuple:
         config.space.block_size,
         config.space.page_size,
         config.topology,
+        config.directory,
         config.relocation_threshold,
         config.relocation_mode,
     )

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.params import MachineParams
+from repro.common.params import DirectoryParams, MachineParams
 from repro.experiments.config import cc_config, ideal, rnuma_config, scoma_config
 from repro.experiments.executor import Executor, Job, ensure_executor
 from repro.experiments.reporting import render_table
@@ -160,5 +160,160 @@ def format_topology_scaling(result: TopologyScalingResult) -> str:
         title=(
             "Extension: topology sensitivity (per-hop link latency + link "
             "contention; normalized per-size to the uniform-fabric ideal)"
+        ),
+    )
+
+
+# -- directory-representation sweep ---------------------------------------
+#
+# Second axis the paper holds fixed: the directory's sharer-set
+# representation.  A full bitmask per block is exact but its width
+# grows with the machine; the classic scalable alternatives —
+# limited-pointer (Dir_i B) and coarse-vector (Dir_i CV_r) — trade
+# precision for constant width and pay for it in *extra invalidations*
+# whenever the sharer set overflows what they can represent.  This
+# sweep crosses representation x topology x protocol x size and
+# reports both execution time and the invalidation-traffic overhead
+# each inexact representation adds over the exact full map.
+
+DIRECTORY_NODE_COUNTS = (8, 16)
+DIRECTORY_TOPOLOGIES = ("uniform", "mesh")
+
+#: label -> knobs; ``fullmap`` first so every overhead has its baseline.
+DIRECTORY_REPRESENTATIONS: Dict[str, DirectoryParams] = {
+    "fullmap": DirectoryParams(),
+    "limited-bcast": DirectoryParams(
+        representation="limited", pointers=4, overflow="broadcast"
+    ),
+    "limited-evict": DirectoryParams(
+        representation="limited", pointers=4, overflow="evict"
+    ),
+    "coarse": DirectoryParams(representation="coarse", region_size=4),
+}
+
+
+@dataclass
+class DirectoryScalingResult:
+    """points[(app, topology, nodes, rep)][protocol] =
+    (normalized exec time, total invalidations sent)."""
+
+    points: Dict[Tuple[str, str, int, str], Dict[str, Tuple[float, int]]] = field(
+        default_factory=dict
+    )
+    representations: Sequence[str] = ()
+    node_counts: Sequence[int] = DIRECTORY_NODE_COUNTS
+
+    def inval_overhead(
+        self, app: str, topology: str, nodes: int, rep: str, protocol: str
+    ) -> float:
+        """Invalidation traffic vs the exact full map (1.0 = no extra;
+        a full map that sent none while the rep sent some is inf)."""
+        sent = self.points[(app, topology, nodes, rep)][protocol][1]
+        base = self.points[(app, topology, nodes, "fullmap")][protocol][1]
+        if base == 0:
+            return 1.0 if sent == 0 else float("inf")
+        return sent / base
+
+    def worst_slowdown_vs_fullmap(self) -> float:
+        """Largest normalized-time ratio of any inexact representation
+        over the full map at the same (app, topology, nodes, protocol)."""
+        worst = 1.0
+        for (app, topology, nodes, rep), row in self.points.items():
+            if rep == "fullmap":
+                continue
+            base = self.points[(app, topology, nodes, "fullmap")]
+            for protocol, (t, _) in row.items():
+                if base[protocol][0] > 0:
+                    worst = max(worst, t / base[protocol][0])
+        return worst
+
+
+def _directory_configs(topology: str, nodes: int, rep: DirectoryParams):
+    configs = _topology_configs(topology, nodes)
+    return {
+        name: replace(cfg, directory=rep) for name, cfg in configs.items()
+    }
+
+
+def directory_scaling_jobs(
+    scale: float = 1.0,
+    apps: Optional[Sequence[str]] = None,
+    topologies: Sequence[str] = DIRECTORY_TOPOLOGIES,
+    node_counts: Sequence[int] = DIRECTORY_NODE_COUNTS,
+    representations: Optional[Dict[str, DirectoryParams]] = None,
+) -> List[Job]:
+    apps = list(apps or DEFAULT_TOPOLOGY_APPS)
+    reps = representations or DIRECTORY_REPRESENTATIONS
+    jobs = []
+    for nodes in node_counts:
+        base_cfg = _baseline_config(nodes)
+        for app in apps:
+            jobs.append(Job(app, base_cfg, scale))
+        for topology in topologies:
+            for rep in reps.values():
+                # The default DirectoryParams() makes the fullmap jobs
+                # identical to the topology sweep's — they dedup in the
+                # result store.
+                for cfg in _directory_configs(topology, nodes, rep).values():
+                    for app in apps:
+                        jobs.append(Job(app, cfg, scale))
+    return jobs
+
+
+def compute_directory_scaling(
+    scale: float = 1.0,
+    apps: Optional[Sequence[str]] = None,
+    cache: Optional[ResultCache] = None,
+    topologies: Sequence[str] = DIRECTORY_TOPOLOGIES,
+    node_counts: Sequence[int] = DIRECTORY_NODE_COUNTS,
+    representations: Optional[Dict[str, DirectoryParams]] = None,
+    executor: Optional[Executor] = None,
+) -> DirectoryScalingResult:
+    apps = list(apps or DEFAULT_TOPOLOGY_APPS)
+    reps = representations or DIRECTORY_REPRESENTATIONS
+    exe = ensure_executor(executor, cache)
+    exe.run(directory_scaling_jobs(scale, apps, topologies, node_counts, reps))
+    out = DirectoryScalingResult(
+        representations=tuple(reps), node_counts=tuple(node_counts)
+    )
+    for nodes in node_counts:
+        base_cfg = _baseline_config(nodes)
+        for topology in topologies:
+            for rep_name, rep in reps.items():
+                configs = _directory_configs(topology, nodes, rep)
+                for app in apps:
+                    base = exe.run_app(app, base_cfg, scale=scale)
+                    row = {}
+                    for protocol, cfg in configs.items():
+                        res = exe.run_app(app, cfg, scale=scale)
+                        row[protocol] = (
+                            res.normalized_to(base),
+                            res.total("invalidations_sent"),
+                        )
+                    out.points[(app, topology, nodes, rep_name)] = row
+    return out
+
+
+def format_directory_scaling(result: DirectoryScalingResult) -> str:
+    headers = ["app", "topology", "nodes", "directory"]
+    for protocol in PROTOCOLS:
+        headers += [protocol, "inv x"]
+    order = {name: i for i, name in enumerate(result.representations)}
+    rows = []
+    for (app, topology, nodes, rep) in sorted(
+        result.points, key=lambda k: (k[0], k[2], k[1], order.get(k[3], 99))
+    ):
+        row = result.points[(app, topology, nodes, rep)]
+        cells = [app, topology, nodes, rep]
+        for protocol in PROTOCOLS:
+            cells.append(row[protocol][0])
+            cells.append(result.inval_overhead(app, topology, nodes, rep, protocol))
+        rows.append(cells)
+    return render_table(
+        headers,
+        rows,
+        title=(
+            "Extension: directory representations (exec time normalized to "
+            "the uniform ideal; 'inv x' = invalidations vs exact full map)"
         ),
     )

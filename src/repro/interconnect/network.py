@@ -11,11 +11,11 @@ Since the topology subsystem (:mod:`repro.interconnect.topology` /
 non-uniform topology adds one :class:`BusyResource` per directed link
 and charges each message hop latency (``costs.link_latency``) plus
 link occupancy (``costs.link_occupancy``) along its precomputed route.
-The route is a flat slice of link ids out of the memoized
-:class:`~repro.interconnect.routing.RoutingTable` — zero per-message
-graph work.  The default ``uniform`` topology has no internal links,
-so its per-message arithmetic is *exactly* the paper's fixed-latency
-model, bit for bit.
+The route is walked link by link through the flat next-hop arrays of
+the memoized :class:`~repro.interconnect.routing.RoutingTable` — two
+array reads per hop, zero per-message graph work.  The default
+``uniform`` topology has no internal links, so its per-message
+arithmetic is *exactly* the paper's fixed-latency model, bit for bit.
 """
 
 from __future__ import annotations
@@ -74,20 +74,22 @@ class Network:
         """Charge the request's links; returns its arrival time at
         ``dst``'s wire endpoint (queueing + occupancy + hop latency
         accumulate hop by hop).  No-op for directly wired pairs."""
-        routing = self.routing
-        pair = src * self.nodes + dst
-        start = routing.path_start
-        lo, hi = start[pair], start[pair + 1]
-        if lo == hi:
+        if src == dst:
             return depart
+        routing = self.routing
+        n = self.nodes
+        nl = routing.next_link
+        lt = routing.link_to
         costs = self._costs
         occ = costs.link_occupancy
         hop = costs.link_latency
         links = self.links
-        path = routing.path_links
         t = depart
-        for i in range(lo, hi):
-            t += links[path[i]].acquire(t, occ) + occ + hop
+        at = src
+        while at != dst:
+            li = nl[at * n + dst]
+            t += links[li].acquire(t, occ) + occ + hop
+            at = lt[li]
         return t
 
     def round_trip_delay(self, src: int, dst: int, now: int, extra_home_occupancy: int = 0) -> int:

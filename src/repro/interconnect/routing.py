@@ -2,19 +2,30 @@
 
 The simulation engine charges link contention per remote message, so
 route lookup sits on the miss path.  All the Python graph work —
-enumerating links, walking deterministic routes, assigning link ids —
-happens here *once* per (topology, node count); what the hot path sees
-is three flat ``array('q')`` buffers:
+enumerating links, assigning link ids, evaluating the topology's
+closed-form hop counts and next hops — happens here *once* per
+(topology, node count); what the hot path sees is flat ``array('q')``
+buffers:
 
 ``hops[src * nodes + dst]``
     Hop count of the pair's route (0 on the diagonal; 1 for every
     distinct pair of the uniform topology).
 
-``path_start`` / ``path_links``
-    CSR layout of the per-pair link-id sequences: pair index ``i``
-    traverses ``path_links[path_start[i] : path_start[i + 1]]``.  The
-    uniform topology has no internal links, so every slice is empty
-    and the network's per-message loop body never runs.
+``next_link[vertex * nodes + dst]`` / ``link_to[link]``
+    Next-hop form of every route: from ``vertex``, the next link id
+    toward ``dst``, and the vertex that link lands on.  The network
+    walks these two arrays hop by hop, touching exactly the links the
+    topology's ``route()`` would have listed, in the same order — but
+    the table costs O(vertices * nodes) instead of the
+    O(nodes^2 * hops) a stored-path (CSR) layout needs, which is what
+    makes 1024-node machines constructible.  The uniform topology has
+    no internal links, so both arrays are empty and the network's
+    per-message loop body never runs.
+
+Construction trusts the topology's closed forms (``hops_row`` /
+``next_hop``) and, for machines up to :data:`RoutingTable.VALIDATE_NODES`
+nodes, re-checks every pair against the authoritative ``route()`` —
+the closed forms are an optimization, never a second source of truth.
 
 Tables are pure immutable data (no resources, no clocks), so
 :func:`routing_table_for` memoizes them process-wide — a sweep that
@@ -32,7 +43,13 @@ from repro.interconnect.topology import Topology, make_topology
 
 
 class RoutingTable:
-    """Precomputed per-(src, dst) hop counts and link paths."""
+    """Precomputed per-(src, dst) hop counts and next-hop links."""
+
+    #: Machines at or below this node count get every pair's walked
+    #: path compared against ``topology.route()`` at construction.
+    #: Larger machines rely on the closed forms, which the small-n
+    #: validation and ``tests/test_topology.py`` pin down.
+    VALIDATE_NODES = 64
 
     __slots__ = (
         "topology_name",
@@ -40,8 +57,8 @@ class RoutingTable:
         "link_count",
         "link_endpoints",
         "hops",
-        "path_start",
-        "path_links",
+        "next_link",
+        "link_to",
     )
 
     def __init__(self, topology: Topology) -> None:
@@ -61,46 +78,92 @@ class RoutingTable:
         self.link_endpoints: List[Tuple[int, int]] = list(links)
 
         hops = array("q", bytes(8 * n * n))
-        path_start = array("q", bytes(8 * (n * n + 1)))
-        path_links = array("q")
-        pos = 0
+        for src in range(n):
+            hops[src * n : (src + 1) * n] = array("q", topology.hops_row(src))
+        self.hops = hops
+
+        if index:
+            n_vertices = topology.n_vertices()
+            next_link = array("q", bytes(8 * n_vertices * n))
+            for at in range(n_vertices):
+                base = at * n
+                for dst in range(n):
+                    if at == dst:
+                        next_link[base + dst] = -1
+                        continue
+                    nh = topology.next_hop(at, dst)
+                    link = index.get((at, nh))
+                    if link is None:
+                        raise ConfigurationError(
+                            f"topology {topology.name!r} route toward {dst} "
+                            f"uses undeclared link {at}->{nh}"
+                        )
+                    next_link[base + dst] = link
+            self.next_link = next_link
+            self.link_to = array("q", [v for (_, v) in links])
+        else:
+            # A topology with no internal links (uniform) is directly
+            # wired: hop counts still come from the topology, but
+            # there is nothing to occupy.
+            self.next_link = array("q")
+            self.link_to = array("q")
+
+        if n <= self.VALIDATE_NODES:
+            self._validate(topology)
+
+    def _validate(self, topology: Topology) -> None:
+        """Check the flat tables against the authoritative route()."""
+        n = self.nodes
         for src in range(n):
             for dst in range(n):
-                pair = src * n + dst
-                path_start[pair] = pos
                 route = topology.route(src, dst)
                 if route[0] != src or route[-1] != dst:
                     raise ConfigurationError(
                         f"topology {topology.name!r} routed {src}->{dst} "
                         f"as {route}"
                     )
-                hops[pair] = len(route) - 1
-                if not index:
-                    # A topology with no internal links (uniform) is
-                    # directly wired: hop counts still come from the
-                    # routes, but there is nothing to occupy.
+                if self.hops[src * n + dst] != len(route) - 1:
+                    raise ConfigurationError(
+                        f"topology {topology.name!r} hop count for "
+                        f"{src}->{dst} disagrees with route {route}"
+                    )
+                if not self.link_count:
                     continue
-                for u, v in zip(route, route[1:]):
-                    link = index.get((u, v))
-                    if link is None:
-                        raise ConfigurationError(
-                            f"topology {topology.name!r} route {src}->{dst} "
-                            f"uses undeclared link {u}->{v}"
-                        )
-                    path_links.append(link)
-                    pos += 1
-        path_start[n * n] = pos
-        self.hops = hops
-        self.path_start = path_start
-        self.path_links = path_links
+                walked = [self.link_endpoints[li] for li in self.path(src, dst)]
+                if walked != list(zip(route, route[1:])):
+                    raise ConfigurationError(
+                        f"topology {topology.name!r} next-hop walk for "
+                        f"{src}->{dst} takes {walked}, route says {route}"
+                    )
 
     def hop_count(self, src: int, dst: int) -> int:
         return self.hops[src * self.nodes + dst]
 
     def path(self, src: int, dst: int) -> List[int]:
         """Link ids traversed src -> dst (empty when directly wired)."""
-        pair = src * self.nodes + dst
-        return list(self.path_links[self.path_start[pair]:self.path_start[pair + 1]])
+        if not self.link_count or src == dst:
+            return []
+        n = self.nodes
+        nl = self.next_link
+        lt = self.link_to
+        out: List[int] = []
+        at = src
+        while at != dst:
+            li = nl[at * n + dst]
+            if li < 0:
+                raise ConfigurationError(
+                    f"topology {self.topology_name!r} has no next hop "
+                    f"from vertex {at} toward {dst}"
+                )
+            out.append(li)
+            at = lt[li]
+            if len(out) > self.link_count:
+                # A loop-free route never uses a link twice.
+                raise ConfigurationError(
+                    f"topology {self.topology_name!r} next-hop walk "
+                    f"{src}->{dst} cycles"
+                )
+        return out
 
     def mean_hops(self) -> float:
         """Mean hop count over distinct (src, dst) pairs."""
@@ -114,7 +177,11 @@ class RoutingTable:
         return max(self.hops) if self.hops else 0
 
 
-@lru_cache(maxsize=None)
+# Bounded: a cross-product sweep (5 topologies x a handful of node
+# counts) stays fully cached, while an adversarial caller cycling
+# through hundreds of node counts can no longer pin every 1024-node
+# table (8 MiB+ of arrays each) in memory forever.
+@lru_cache(maxsize=64)
 def routing_table_for(topology: str, nodes: int) -> RoutingTable:
     """The memoized routing table for a (topology name, node count).
 

@@ -73,6 +73,40 @@ class Topology:
         """
         raise NotImplementedError
 
+    # -- analytic forms ---------------------------------------------------
+    # Routing-table construction at 1024 nodes cannot afford to
+    # materialize every route() list (a million paths of O(hops)
+    # vertices each).  Each topology therefore answers three questions
+    # in O(1)/O(n) closed form; the generic fallbacks delegate to
+    # route() so a hypothetical out-of-tree topology still works, just
+    # slowly.  ``tests/test_topology.py`` pins the closed forms to
+    # route() exhaustively at small node counts, and the routing table
+    # re-validates them against route() for every machine up to
+    # ``RoutingTable.VALIDATE_NODES``.
+
+    def n_vertices(self) -> int:
+        """Vertex-id space size: ``nodes`` plus internal switch stages."""
+        return self.nodes
+
+    def pair_hops(self, src: int, dst: int) -> int:
+        """Link count on the deterministic ``src`` -> ``dst`` route."""
+        return len(self.route(src, dst)) - 1
+
+    def hops_row(self, src: int) -> List[int]:
+        """``pair_hops(src, dst)`` for every destination, in order."""
+        return [self.pair_hops(src, dst) for dst in range(self.nodes)]
+
+    def next_hop(self, at: int, dst: int) -> int:
+        """First vertex after ``at`` on the route toward ``dst``.
+
+        ``at`` may be an internal switch vertex.  Must be consistent
+        with :meth:`route`: following next_hop from ``src`` step by
+        step reproduces ``route(src, dst)`` exactly, which is what lets
+        the routing table store one next-link id per (vertex, dst)
+        instead of full paths.
+        """
+        return self.route(at, dst)[1]
+
     def _check_pair(self, src: int, dst: int) -> None:
         if not (0 <= src < self.nodes and 0 <= dst < self.nodes):
             raise ConfigurationError(
@@ -94,6 +128,17 @@ class UniformTopology(Topology):
         if src == dst:
             return [src]
         return [src, dst]
+
+    def pair_hops(self, src: int, dst: int) -> int:
+        return 0 if src == dst else 1
+
+    def hops_row(self, src: int) -> List[int]:
+        row = [1] * self.nodes
+        row[src] = 0
+        return row
+
+    def next_hop(self, at: int, dst: int) -> int:
+        return dst
 
 
 class RingTopology(Topology):
@@ -122,6 +167,25 @@ class RingTopology(Topology):
             at = (at + step) % n
             path.append(at)
         return path
+
+    def pair_hops(self, src: int, dst: int) -> int:
+        forward = (dst - src) % self.nodes
+        return min(forward, self.nodes - forward)
+
+    def hops_row(self, src: int) -> List[int]:
+        n = self.nodes
+        return [min((d - src) % n, (src - d) % n) for d in range(n)]
+
+    def next_hop(self, at: int, dst: int) -> int:
+        # The shorter-direction choice is stable along the route: the
+        # chosen direction's distance only shrinks while the other
+        # grows, so re-deciding at each intermediate vertex never
+        # flips (nor re-creates the tie, which strictly breaks after
+        # the first step away from it).
+        n = self.nodes
+        forward = (dst - at) % n
+        step = 1 if forward <= n - forward else -1
+        return (at + step) % n
 
 
 def grid_dims(nodes: int) -> Tuple[int, int]:
@@ -198,6 +262,37 @@ class Mesh2DTopology(Topology):
             path.append(self._id(r, c))
         return path
 
+    def _axis_hops(self, at: int, to: int, size: int) -> int:
+        if self.wrap:
+            forward = (to - at) % size
+            return min(forward, size - forward)
+        return abs(to - at)
+
+    def _axis_step(self, at: int, to: int, size: int) -> int:
+        """One step of :meth:`_axis_steps` (same direction choice)."""
+        if self.wrap:
+            forward = (to - at) % size
+            step = 1 if forward <= size - forward else -1
+        else:
+            step = 1 if to > at else -1
+        return (at + step) % size
+
+    def pair_hops(self, src: int, dst: int) -> int:
+        r, c = divmod(src, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        return self._axis_hops(c, dc, self.cols) + self._axis_hops(r, dr, self.rows)
+
+    def next_hop(self, at: int, dst: int) -> int:
+        # Dimension-order routing is self-consistent from intermediate
+        # vertices: while X disagrees the route is still "finish X",
+        # and the per-axis shorter-wrap choice is stable along the
+        # axis (same argument as the ring).
+        r, c = divmod(at, self.cols)
+        dr, dc = divmod(dst, self.cols)
+        if c != dc:
+            return self._id(r, self._axis_step(c, dc, self.cols))
+        return self._id(self._axis_step(r, dr, self.rows), c)
+
 
 class Torus2DTopology(Mesh2DTopology):
     """2D torus: the mesh grid with shortest-direction wraparound."""
@@ -230,6 +325,20 @@ class FatTreeTopology(Topology):
         if src == dst:
             return [src]
         return [src, self.nodes, dst]
+
+    def n_vertices(self) -> int:
+        return self.nodes + 1  # the switch vertex
+
+    def pair_hops(self, src: int, dst: int) -> int:
+        return 0 if src == dst else 2
+
+    def hops_row(self, src: int) -> List[int]:
+        row = [2] * self.nodes
+        row[src] = 0
+        return row
+
+    def next_hop(self, at: int, dst: int) -> int:
+        return dst if at == self.nodes else self.nodes
 
 
 #: name -> class, in presentation order.

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.coherence.directory import Directory
+from repro.coherence.directory import make_directory
 from repro.common.errors import ConfigurationError
 from repro.common.params import SystemConfig
 from repro.common.stats import StatsRegistry
@@ -37,7 +37,7 @@ class Machine:
         self.nodes: List[Node] = [
             Node(n, config) for n in range(config.machine.nodes)
         ]
-        self.directory = Directory()
+        self.directory = make_directory(config.directory, config.machine.nodes)
         self.network = Network(
             config.machine.nodes, config.costs, topology=config.topology
         )

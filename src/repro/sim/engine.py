@@ -80,6 +80,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.caches.finegrain import BLOCK_INVALID, BLOCK_READONLY, BLOCK_WRITABLE
 from repro.caches.l1 import EMPTY as L1_EMPTY
 from repro.coherence.directory import (
+    Directory,
     NO_OWNER,
     OUT_INVAL_SHIFT,
     OUT_OWNER_MASK,
@@ -218,6 +219,15 @@ class SimulationEngine:
         self._dir_owners = self.machine.directory.owners
         self._dir_sharers = self.machine.directory.sharer_masks
         self._dir_held = self.machine.directory.held_masks
+        # The inlined directory mutations below hand-transcribe the
+        # exact full-map request semantics.  Inexact representations
+        # (limited-pointer / coarse-vector) carry extra per-slot state
+        # and different update rules, so their mutating requests go
+        # through the canonical Directory methods; read-only probes
+        # (owner pointer, conservative sharer mask) stay inlined for
+        # every representation because those columns keep exact-or-
+        # superset semantics across all of them.
+        self._dir_inline = type(self.machine.directory) is Directory
         # Uniform-fabric facts for the inlined round trip in
         # _remote_fetch (the Network object keeps its identity and its
         # links list is fixed per topology).
@@ -643,10 +653,15 @@ class SimulationEngine:
                 # Directory.home_write_access, inlined on the bound
                 # columns: every remote copy is invalidated and cleared
                 # from was-held (their next miss is a coherence miss).
-                ds = self._dir_slots.get(b)
+                ds = self._dir_slots.get(b) if self._dir_inline else None
                 if ds is None:
-                    inval = 0
-                    prev_owner = -1
+                    if self._dir_inline or b not in self._dir_slots:
+                        inval = 0
+                        prev_owner = -1
+                    else:
+                        out = self._directory.home_write_access(b, nid)
+                        prev_owner = ((out >> OUT_OWNER_SHIFT) & OUT_OWNER_MASK) - 1
+                        inval = out >> OUT_INVAL_SHIFT
                 else:
                     prev_owner = self._dir_owners[ds]
                     if prev_owner == nid:
@@ -655,6 +670,8 @@ class SimulationEngine:
                     self._dir_owners[ds] = NO_OWNER
                     self._dir_sharers[ds] = 0
                     self._dir_held[ds] = 0
+                if inval:
+                    ns.invalidations_sent += inval.bit_count()
                 if b in node.coherence_lost:
                     ns.coherence_misses += 1
                     node.coherence_lost.discard(b)
@@ -939,8 +956,9 @@ class SimulationEngine:
 
         if write:
             # Directory.write_request, inlined on the bound columns
-            # (first touch of a block takes the canonical method).
-            ds = self._dir_slots.get(b)
+            # (first touch of a block, and every request against an
+            # inexact representation, takes the canonical method).
+            ds = self._dir_slots.get(b) if self._dir_inline else None
             if ds is None:
                 out = self._directory.write_request(b, nid, upgrade=upgrade)
                 refetch = out & 1
@@ -955,7 +973,9 @@ class SimulationEngine:
                 self._dir_sharers[ds] = nbit
                 self._dir_held[ds] = nbit
                 owners[ds] = nid
-            extra = costs.invalidate_per_sharer * inval.bit_count()
+            n_inval = inval.bit_count()
+            node.stats.invalidations_sent += n_inval
+            extra = costs.invalidate_per_sharer * n_inval
             while inval:
                 low = inval & -inval
                 self._invalidate_node_block(low.bit_length() - 1, b, g)
@@ -976,11 +996,14 @@ class SimulationEngine:
                 home_node.coherence_lost.add(b)
         else:
             # Directory.read_request, inlined on the bound columns.
-            ds = self._dir_slots.get(b)
+            ds = self._dir_slots.get(b) if self._dir_inline else None
             if ds is None:
                 out = self._directory.read_request(b, nid)
                 refetch = out & 1
                 prev_owner = ((out >> OUT_OWNER_SHIFT) & OUT_OWNER_MASK) - 1
+                # Limited-pointer eviction overflow sheds a sharer on a
+                # *read*: fan the eviction out like a write invalidation.
+                evict = out >> OUT_INVAL_SHIFT
             else:
                 owners = self._dir_owners
                 owner = owners[ds]
@@ -993,7 +1016,16 @@ class SimulationEngine:
                     owners[ds] = NO_OWNER
                 self._dir_sharers[ds] |= nbit
                 self._dir_held[ds] |= nbit
+                evict = 0
             extra = 0
+            if evict:
+                n_evict = evict.bit_count()
+                node.stats.invalidations_sent += n_evict
+                extra = costs.invalidate_per_sharer * n_evict
+                while evict:
+                    low = evict & -evict
+                    self._invalidate_node_block(low.bit_length() - 1, b, g)
+                    evict ^= low
             if prev_owner >= 0:
                 self._downgrade_node(prev_owner, b, g)
             # Downgrade the home's copies: L1s only, same argument.

@@ -307,6 +307,7 @@ class ReferenceEngine(SimulationEngine):
         if mapping == MAP_LOCAL:
             out = directory.home_write_access(b, nid)
             lat = 0
+            node.stats.invalidations_sent += len(out.invalidated)
             if b in node.coherence_lost:
                 node.stats.coherence_misses += 1
                 node.coherence_lost.discard(b)
@@ -488,6 +489,7 @@ class ReferenceEngine(SimulationEngine):
 
         if write:
             out = machine.directory.write_request(b, nid, upgrade=upgrade)
+            node.stats.invalidations_sent += len(out.invalidated)
             extra = costs.invalidate_per_sharer * len(out.invalidated)
             for victim in out.invalidated:
                 self._invalidate_node_block(victim, b, g)

@@ -19,10 +19,12 @@ engine runs, where the message mix comes from the protocols rather
 than from the test.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.params import CostParams
+from repro.common.params import CostParams, MachineParams
+from repro.common.records import Access
 from repro.interconnect.network import Network
 from repro.interconnect.routing import routing_table_for
 from repro.interconnect.topology import topology_names
@@ -123,8 +125,6 @@ accesses = st.lists(
 @given(stretch=accesses, topology=st.sampled_from(topology_names()))
 @settings(max_examples=60, deadline=None)
 def test_engine_runs_keep_the_ledger(stretch, topology):
-    from repro.common.records import Access
-
     for protocol in ("ccnuma", "scoma", "rnuma"):
         config = tiny_config(protocol, topology=topology)
         traces = [
@@ -134,3 +134,94 @@ def test_engine_runs_keep_the_ledger(stretch, topology):
         engine = SimulationEngine(config, traces)
         engine.run()
         _engine_ledger_holds(engine.machine.network)
+
+
+# -- large machines --------------------------------------------------------
+#
+# The ledger must also reconcile on the machine sizes the directory and
+# topology sweeps actually run, where routes come from the next-hop walk
+# instead of validated small-n tables.  Deterministic streams (a fixed
+# stride pattern) keep these fast enough to run at every commit for 64
+# nodes; the 256-node tier rides the ``large_n`` marker.
+
+
+def _deterministic_stream(nodes, count=400):
+    """(src, dst, one_way, gap) covering near/far/wrap pairs."""
+    stream = []
+    for i in range(count):
+        src = (i * 7) % nodes
+        dst = (src + 1 + (i * i) % (nodes - 1)) % nodes
+        stream.append((src, dst, i % 3 == 0, i % 11))
+    return stream
+
+
+def _ledger_reconciles_at(nodes, topology):
+    costs = CostParams(link_latency=15, link_occupancy=10)
+    net = Network(nodes, costs, topology=topology)
+    table = routing_table_for(topology, nodes)
+    now = 0
+    expected_hop_charges = 0
+    round_trips = 0
+    stream = _deterministic_stream(nodes)
+    for src, dst, one_way, gap in stream:
+        now += gap
+        if one_way:
+            net.one_way_delay(src, now, dst=dst)
+        else:
+            net.round_trip_delay(src, dst, now)
+            round_trips += 1
+        expected_hop_charges += table.hop_count(src, dst) if net.links else 0
+    assert net.messages == len(stream)
+    assert net.round_trips == round_trips
+    assert sum(r.transactions for r in net.nis) == net.messages
+    assert sum(r.transactions for r in net.rads) == net.round_trips
+    assert sum(r.transactions for r in net.links) == expected_hop_charges
+    assert sum(r.busy_cycles for r in net.links) == (
+        expected_hop_charges * costs.link_occupancy
+    )
+
+
+@pytest.mark.parametrize("topology", topology_names())
+def test_ledger_reconciles_at_64_nodes(topology):
+    _ledger_reconciles_at(64, topology)
+
+
+@pytest.mark.large_n
+@pytest.mark.parametrize("topology", topology_names())
+def test_ledger_reconciles_at_256_nodes(topology):
+    _ledger_reconciles_at(256, topology)
+
+
+def _large_machine_traces(nodes, page_size=512, refs=24):
+    """Short per-CPU traces that still force cross-node traffic: every
+    CPU touches its own page and a neighbor's."""
+    traces = []
+    for n in range(nodes):
+        base = n * page_size
+        remote = ((n + 1) % nodes) * page_size
+        items = []
+        for i in range(refs):
+            addr = (base if i % 3 else remote) + (i * 64) % page_size
+            items.append(Access(addr, i % 4 == 0, i % 3))
+        traces.append(items)
+    return traces
+
+
+def _engine_ledger_at(nodes, protocols):
+    machine = MachineParams(nodes=nodes, cpus_per_node=1)
+    traces = _large_machine_traces(nodes)
+    for topology in ("uniform", "torus"):
+        for protocol in protocols:
+            config = tiny_config(protocol, machine=machine, topology=topology)
+            engine = SimulationEngine(config, [list(t) for t in traces])
+            engine.run()
+            _engine_ledger_holds(engine.machine.network)
+
+
+def test_engine_ledger_at_64_nodes():
+    _engine_ledger_at(64, ("ccnuma", "scoma", "rnuma", "ideal"))
+
+
+@pytest.mark.large_n
+def test_engine_ledger_at_256_nodes():
+    _engine_ledger_at(256, ("ccnuma", "scoma", "rnuma", "ideal"))

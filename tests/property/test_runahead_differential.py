@@ -18,6 +18,7 @@ density so ties and invalidation races actually happen within a few
 hundred references.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -109,3 +110,48 @@ def test_runahead_matches_reference_on_an_app_program():
         fast = simulate(config, program)
         slow = simulate_reference(config, program)
         assert_identical_results(fast, slow)
+
+
+def _wide_machine_traces(nodes, page_size=512):
+    """Deterministic traces for an n-node machine with real sharing:
+    every CPU works its own page, reads a hot shared page, and writes
+    into a neighbor's page; one barrier splits the run."""
+    traces = []
+    hot = (nodes // 2) * page_size
+    for n in range(nodes):
+        own = n * page_size
+        neighbor = ((n + 1) % nodes) * page_size
+        items = []
+        for i in range(18):
+            items.append(Access(own + (i * 64) % page_size, i % 5 == 0, i % 3))
+            if i % 4 == 0:
+                items.append(Access(hot + (i * 64) % page_size, False, 0))
+            if i % 6 == 0:
+                items.append(Access(neighbor + (i * 64) % page_size, True, 1))
+        items.append(Barrier(0))
+        items.extend(
+            Access(hot + (i * 64) % page_size, i % 7 == 0, 0) for i in range(6)
+        )
+        traces.append(items)
+    return traces
+
+
+def _engine_matches_reference_at(nodes):
+    machine = MachineParams(nodes=nodes, cpus_per_node=1)
+    traces = _wide_machine_traces(nodes)
+    for protocol in PROTOCOLS:
+        config = tiny_config(protocol, machine=machine)
+        fast = simulate(config, [list(t) for t in traces])
+        slow = simulate_reference(config, [list(t) for t in traces])
+        assert_identical_results(fast, slow)
+
+
+def test_runahead_matches_reference_at_64_nodes():
+    """The wide-machine tier of the directory sweeps: schedule
+    exactness must not decay with node count."""
+    _engine_matches_reference_at(64)
+
+
+@pytest.mark.large_n
+def test_runahead_matches_reference_at_256_nodes():
+    _engine_matches_reference_at(256)

@@ -158,3 +158,56 @@ class TestSystemConfig:
         data = config_to_dict(SystemConfig())
         del data["topology"]  # a payload serialized before this subsystem
         assert config_from_dict(data).topology == "uniform"
+
+
+class TestDirectoryParams:
+    def test_default_is_the_exact_full_map(self):
+        from repro.common.params import DirectoryParams
+
+        assert SystemConfig().directory == DirectoryParams()
+        assert SystemConfig().directory.representation == "fullmap"
+
+    def test_rejects_bad_knobs(self):
+        from repro.common.params import DirectoryParams
+
+        with pytest.raises(ConfigurationError):
+            DirectoryParams(representation="sparse")
+        with pytest.raises(ConfigurationError):
+            DirectoryParams(representation="limited", pointers=0)
+        with pytest.raises(ConfigurationError):
+            DirectoryParams(representation="limited", overflow="drop")
+        with pytest.raises(ConfigurationError):
+            DirectoryParams(representation="coarse", region_size=0)
+
+    def test_round_trips_through_dict(self):
+        from repro.common.params import (
+            DirectoryParams,
+            config_from_dict,
+            config_to_dict,
+        )
+
+        cfg = SystemConfig(
+            directory=DirectoryParams(
+                representation="limited", pointers=2, overflow="evict"
+            )
+        )
+        data = config_to_dict(cfg)
+        assert data["directory"]["representation"] == "limited"
+        assert config_from_dict(data) == cfg
+
+    def test_pre_directory_payloads_default_to_fullmap(self):
+        from repro.common.params import config_from_dict, config_to_dict
+
+        data = config_to_dict(SystemConfig())
+        del data["directory"]  # a payload serialized before this knob
+        assert config_from_dict(data).directory.representation == "fullmap"
+
+    def test_directory_is_part_of_the_run_identity(self):
+        from repro.common.params import DirectoryParams
+        from repro.experiments.runner import config_key
+
+        exact = SystemConfig()
+        coarse = SystemConfig(
+            directory=DirectoryParams(representation="coarse", region_size=2)
+        )
+        assert config_key(exact) != config_key(coarse)

@@ -99,6 +99,38 @@ class TestEngineReset:
         engine.reset()
         assert second_equal(engine, first)
 
+    def test_every_directory_representation_resets_cleanly(self):
+        # The inexact representations carry extra per-slot state
+        # (limited: overflow modes) and different update rules; reset
+        # must restore all of it in place for every rep.
+        from dataclasses import replace
+
+        from repro.common.params import DirectoryParams
+
+        reps = (
+            DirectoryParams(representation="limited", pointers=1,
+                            overflow="broadcast"),
+            DirectoryParams(representation="limited", pointers=1,
+                            overflow="evict"),
+            DirectoryParams(representation="coarse", region_size=2),
+        )
+        program = build_program("em3d", scale=0.05)
+        for params in reps:
+            for base in (ideal(), cc_config(), scoma_config(), rnuma_config()):
+                config = replace(base, directory=params)
+                engine = SimulationEngine(config, program)
+                directory = engine.machine.directory
+                slots = directory.slots
+                first = _snapshot(engine.run())
+                engine.reset()
+                assert len(directory) == 0
+                assert directory.slots is slots  # cleared in place
+                second = _snapshot(engine.run())
+                assert second == first, (
+                    f"reset drifted for {base.protocol} "
+                    f"with {params.representation}"
+                )
+
     def test_frozen_reference_engine_resets_too(self):
         # The oracle must stay usable across resets as well (the legacy
         # structures grew matching in-place reset()s).

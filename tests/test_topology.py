@@ -71,8 +71,22 @@ class TestEveryTopology:
     def test_links_are_unique_and_in_range(self, name, nodes):
         table = routing_table_for(name, nodes)
         assert len(set(table.link_endpoints)) == table.link_count
-        for link in table.path_links:
-            assert 0 <= link < table.link_count
+        for link in table.next_link:
+            assert -1 <= link < table.link_count
+
+    def test_closed_forms_match_route(self, name, nodes):
+        # pair_hops / hops_row / next_hop are O(1) re-derivations of
+        # route(); they must agree pairwise at every small size (the
+        # routing table trusts them outright past VALIDATE_NODES).
+        topo = make_topology(name, nodes)
+        for src in range(nodes):
+            row = topo.hops_row(src)
+            for dst in range(nodes):
+                route = topo.route(src, dst)
+                assert topo.pair_hops(src, dst) == len(route) - 1
+                assert row[dst] == len(route) - 1
+                for at, nxt in zip(route, route[1:]):
+                    assert topo.next_hop(at, dst) == nxt
 
 
 class TestUniform:
@@ -81,7 +95,7 @@ class TestUniform:
         assert table.link_count == 0
         assert table.max_hops() == 1
         assert table.mean_hops() == 1.0
-        assert len(table.path_links) == 0
+        assert len(table.next_link) == 0
 
 
 class TestRing:
@@ -144,3 +158,60 @@ class TestFatTree:
 class TestMemoization:
     def test_tables_are_shared(self):
         assert routing_table_for("torus", 16) is routing_table_for("torus", 16)
+
+    def test_cache_is_bounded(self):
+        # The memo must not grow without bound: a full sweep's worth of
+        # (topology, node count) pairs has to fit, an unbounded churn
+        # of node counts must not pin every table forever.
+        info = routing_table_for.cache_info()
+        assert info.maxsize is not None
+        assert info.maxsize >= len(topology_names()) * 8
+
+    def test_reuse_after_churn(self):
+        # Recently used tables survive unrelated lookups.
+        first = routing_table_for("ring", 16)
+        routing_table_for("ring", 12)
+        routing_table_for("mesh", 12)
+        assert routing_table_for("ring", 16) is first
+
+
+class TestLargeMachines:
+    """Table construction must scale to the 256-1024 node sweeps.
+
+    Past ``RoutingTable.VALIDATE_NODES`` the table skips the exhaustive
+    route() comparison, so these tests spot-check walked paths against
+    route() at sampled pairs instead.
+    """
+
+    @pytest.mark.parametrize("name", topology_names())
+    def test_256_nodes_spot_checked(self, name):
+        nodes = 256
+        table = routing_table_for(name, nodes)
+        topo = make_topology(name, nodes)
+        endpoints = table.link_endpoints
+        for src, dst in [(0, 255), (17, 200), (255, 1), (128, 129), (3, 3)]:
+            route = topo.route(src, dst)
+            assert table.hop_count(src, dst) == len(route) - 1
+            if table.link_count:
+                walked = [endpoints[li] for li in table.path(src, dst)]
+                assert walked == list(zip(route, route[1:]))
+
+    @pytest.mark.large_n
+    @pytest.mark.parametrize("name", topology_names())
+    def test_1024_nodes_spot_checked(self, name):
+        nodes = 1024
+        table = routing_table_for(name, nodes)
+        topo = make_topology(name, nodes)
+        endpoints = table.link_endpoints
+        for src, dst in [(0, 1023), (511, 512), (1023, 0), (77, 900)]:
+            route = topo.route(src, dst)
+            assert table.hop_count(src, dst) == len(route) - 1
+            if table.link_count:
+                walked = [endpoints[li] for li in table.path(src, dst)]
+                assert walked == list(zip(route, route[1:]))
+
+    @pytest.mark.large_n
+    def test_1024_torus_diameter(self):
+        table = routing_table_for("torus", 1024)  # 32x32
+        assert table.max_hops() == 32  # 16 + 16
+        assert table.hop_count(0, 1023) == 2  # corner wraps both axes
