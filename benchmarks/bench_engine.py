@@ -36,6 +36,13 @@ pre-columnar set/dict/object structures from :mod:`repro.sim.legacy`),
 so each speedup measures the scheduler and the state-layout overhaul
 together.
 
+When NumPy is importable, every scenario also times the batch-
+vectorized epoch engine (:class:`~repro.sim.vector.VectorEngine`) and
+records ``vector_refs_per_s`` / ``vector_speedup`` (vs reference) /
+``vector_vs_runahead``; without NumPy the vector columns are simply
+absent and a ``provenance`` entry records ``"numpy": "absent"`` so a
+reader of the JSON knows *why*.
+
 Results are also written as ``benchmarks/BENCH_engine.json`` by
 ``python -m benchmarks.bench_engine`` so the refs/sec trajectory is
 tracked across PRs; ``benchmarks/smoke.py`` runs the comparison at a
@@ -50,6 +57,7 @@ stream, miss stream, legacy object-trace input, executor fan-out).
 from __future__ import annotations
 
 import json
+import platform
 import time
 from pathlib import Path
 
@@ -61,6 +69,7 @@ from repro.experiments.executor import Executor, Job
 from repro.experiments.runner import ResultCache
 from repro.sim.engine import SimulationEngine, simulate
 from repro.sim.reference import ReferenceEngine
+from repro.sim.vector import VectorEngine, numpy_available
 from repro.workloads.compile import CompiledProgram
 from repro.workloads.registry import build_program
 
@@ -239,7 +248,7 @@ def _compare(config, program, repeats: int) -> dict:
     )
     refs = fast_sched["refs"]
     heap_ops = fast_sched["heap_pops"] + fast_sched["heap_pushes"]
-    return {
+    row = {
         "refs": refs,
         "miss_rate": fast_r.total("l1_misses") / refs if refs else 0.0,
         "runahead_refs_per_s": refs / fast_dt,
@@ -253,6 +262,24 @@ def _compare(config, program, repeats: int) -> dict:
         ),
         "mean_run_length": refs / fast_sched["drains"] if fast_sched["drains"] else 0.0,
     }
+    if numpy_available():
+        vec_r, vec_dt, vec_sched = _time_engine(
+            VectorEngine, config, program, repeats
+        )
+        assert _results_identical(vec_r, slow_r), (
+            "vector and reference engines disagree — benchmark void"
+        )
+        row["vector_refs_per_s"] = refs / vec_dt
+        row["vector_speedup"] = slow_dt / vec_dt
+        row["vector_vs_runahead"] = fast_dt / vec_dt
+        # Classification work per settled reference: > 1 means the
+        # affected-set re-predictions are reclassifying words.
+        row["vector_classify_per_ref"] = (
+            (vec_sched["vector_refs"] + vec_sched["scalar_refs"]) / refs
+            if refs
+            else 0.0
+        )
+    return row
 
 
 def run_engine_comparison(scale: float = 1.0, repeats: int = 3) -> dict:
@@ -287,8 +314,29 @@ def run_engine_comparison(scale: float = 1.0, repeats: int = 3) -> dict:
             "nodes": PAPER_MACHINE.nodes,
             "cpus_per_node": PAPER_MACHINE.cpus_per_node,
         },
+        "provenance": _provenance(),
         "scale": scale,
         "scenarios": scenarios,
+    }
+
+
+def _provenance() -> dict:
+    """Where the numbers came from: interpreter, optional NumPy, and
+    the host shape — enough to judge whether two JSONs are comparable."""
+    if numpy_available():
+        import numpy
+
+        numpy_version = numpy.__version__
+    else:
+        numpy_version = "absent"
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "host_cpus": os.cpu_count(),
     }
 
 
@@ -356,6 +404,44 @@ def assert_miss_path_floor(
     return measured
 
 
+#: scenarios the vector-engine floor tracks: the two it must win
+#: (hit settlement) plus the miss-path regression guard.
+VECTOR_SCENARIOS = ("parallel_hits", "app", "miss_stream")
+
+
+def assert_vector_floor(
+    numbers: dict, recorded: dict, tolerance: float = 0.9
+) -> float:
+    """CI gate: the vector engine's standing vs run-ahead must not
+    regress >10% against the recorded ``BENCH_engine.json``.
+
+    Same geomean construction as :func:`assert_miss_path_floor`, over
+    ``vector_vs_runahead`` for :data:`VECTOR_SCENARIOS` — the massive
+    hit-settlement win (``parallel_hits``), the end-to-end mix
+    (``app``), and the pure miss residue (``miss_stream``), so both a
+    lost vectorization win and a bloated scheduler move the gate.
+    Skips (returns 0.0) when either JSON has no vector columns — the
+    no-NumPy leg has nothing to compare.  Returns the measured geomean.
+    """
+    measured = 1.0
+    baseline = 1.0
+    for name in VECTOR_SCENARIOS:
+        m = numbers["scenarios"][name].get("vector_vs_runahead")
+        b = recorded["scenarios"][name].get("vector_vs_runahead")
+        if m is None or b is None:
+            return 0.0
+        measured *= m
+        baseline *= b
+    measured **= 1 / len(VECTOR_SCENARIOS)
+    baseline **= 1 / len(VECTOR_SCENARIOS)
+    floor = tolerance * baseline
+    assert measured >= floor, (
+        f"vector-engine speedup geomean {measured:.2f}x regressed below "
+        f"{floor:.2f}x (recorded {baseline:.2f}x - 10%)"
+    )
+    return measured
+
+
 def measure_allocations(scale: float = 0.1) -> dict:
     """Per-scenario allocation footprint of the columnar engine.
 
@@ -401,14 +487,28 @@ def write_bench_json(numbers: dict, path: Path = BENCH_JSON) -> Path:
 def main(scale: float = 1.0) -> int:
     numbers = run_engine_comparison(scale=scale)
     assert_engine_win(numbers)
+    # Also record the smoke scale: the vector engine's standing vs
+    # run-ahead depends on run *length* (short runs amortize less of
+    # the per-epoch setup), so CI's scale-0.1 measurement needs a
+    # scale-0.1 baseline to be compared against.
+    smoke = run_engine_comparison(scale=0.1, repeats=2)
+    numbers["smoke"] = {"scale": smoke["scale"], "scenarios": smoke["scenarios"]}
     path = write_bench_json(numbers)
     for name, s in numbers["scenarios"].items():
-        print(
+        line = (
             f"{name:14s} {s['runahead_refs_per_s'] / 1e3:8.0f}k refs/s "
             f"(reference {s['reference_refs_per_s'] / 1e3:8.0f}k) "
             f"speedup {s['speedup']:.2f}x  heap_ops/ref {s['heap_ops_per_ref']:.4f}  "
             f"mean_run {s['mean_run_length']:.1f}  miss {s['miss_rate'] * 100:.1f}%"
         )
+        if "vector_vs_runahead" in s:
+            line += (
+                f"  vector {s['vector_refs_per_s'] / 1e3:8.0f}k "
+                f"({s['vector_vs_runahead']:.2f}x vs run-ahead)"
+            )
+        print(line)
+    if not numpy_available():
+        print("NumPy absent: vector-engine columns skipped")
     print(f"wrote {path}")
     return 0
 

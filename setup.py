@@ -9,4 +9,13 @@ from setuptools import setup
 
 # The columnar miss path uses 3.10+ features (slotted dataclasses,
 # int.bit_count); CI tests 3.10–3.12.
-setup(python_requires=">=3.10")
+#
+# The core install has zero runtime dependencies.  The batch-vectorized
+# epoch engine (SystemConfig.engine == "vector") needs NumPy:
+#   pip install .[vector]
+# Without it, selecting that backend raises EngineUnavailableError and
+# the runahead/reference engines keep working.
+setup(
+    python_requires=">=3.10",
+    extras_require={"vector": ["numpy"]},
+)

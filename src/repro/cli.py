@@ -8,12 +8,15 @@ Commands
     Show the interconnect topologies (links, mean/max hops per size).
 ``directories``
     Show the directory sharer-set representations and their knobs.
+``engines``
+    Show the engine backends and whether each can run here.
 ``run APP``
     Simulate one application under one or all protocols, optionally on
     a non-uniform interconnect topology (``--topology``,
-    ``--link-latency``, ``--link-occupancy``) and/or with a scalable
+    ``--link-latency``, ``--link-occupancy``), with a scalable
     directory representation (``--directory``, ``--dir-pointers``,
-    ``--dir-overflow``, ``--dir-region``).
+    ``--dir-overflow``, ``--dir-region``), and/or on a non-default
+    engine backend (``--engine``).
 ``trace-stats APP``
     Inspect an application's compiled trace: per-CPU reference counts,
     barriers, pages touched, and the packed-buffer footprint.
@@ -42,10 +45,12 @@ from typing import List, Optional
 from repro.common.addressing import AddressSpace
 from repro.common.params import (
     DirectoryParams,
+    SystemConfig,
     base_ccnuma_config,
     base_rnuma_config,
     base_scoma_config,
     ideal_config,
+    set_default_engine,
 )
 from repro.experiments import (
     compute_directory_scaling,
@@ -91,6 +96,7 @@ from repro.experiments.runner import ResultCache
 from repro.interconnect.routing import routing_table_for
 from repro.interconnect.topology import TOPOLOGIES, topology_names
 from repro.sim.engine import simulate
+from repro.sim.factory import engine_backends
 from repro.workloads.registry import APPLICATIONS, build_program, workload_names
 
 _PROTOCOL_CONFIGS = {
@@ -233,9 +239,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="nodes per bit for --directory coarse (default: 4)",
     )
+    run_p.add_argument(
+        "--engine",
+        choices=SystemConfig._ENGINES,
+        default="runahead",
+        help="engine backend (default: runahead; vector needs NumPy)",
+    )
 
     sub.add_parser(
         "directories", help="show the directory sharer-set representations"
+    )
+
+    sub.add_parser(
+        "engines", help="show the engine backends and their availability"
     )
 
     ts_p = sub.add_parser(
@@ -267,6 +283,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep_p.add_argument("--scale", type=float, default=1.0)
     rep_p.add_argument("--apps", nargs="*", default=None)
+    rep_p.add_argument(
+        "--engine",
+        choices=SystemConfig._ENGINES,
+        default="runahead",
+        help=(
+            "engine backend for the whole sweep (default: runahead; "
+            "backends are bit-identical, so figures and tables do not "
+            "change — only wall time and store provenance do)"
+        ),
+    )
     rep_p.add_argument(
         "--profile",
         action="store_true",
@@ -312,6 +338,16 @@ def _cmd_directories() -> None:
         print(f"{name:<15} {text}")
 
 
+def _cmd_engines() -> None:
+    print(f"{'engine':<10} {'available':<10} {'requires':<24} summary")
+    for row in engine_backends():
+        available = "yes" if row["available"] else "no"
+        print(
+            f"{row['name']:<10} {available:<10} {row['requires']:<24} "
+            f"{row['summary']}"
+        )
+
+
 def _run_config_overrides(args: argparse.Namespace, config):
     """Apply the interconnect/directory knobs of ``run`` to a config."""
     if args.topology != "uniform":
@@ -333,6 +369,8 @@ def _run_config_overrides(args: argparse.Namespace, config):
                 region_size=args.dir_region,
             ),
         )
+    if args.engine != config.engine:
+        config = replace(config, engine=args.engine)
     return config
 
 
@@ -417,6 +455,13 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
 def _cmd_reproduce(args: argparse.Namespace) -> None:
     """Full paper sweep: one deduplicated job set, one executor."""
     import time
+
+    # The figure/table modules build their SystemConfigs internally, so
+    # the backend choice rides on the process-wide default: every config
+    # constructed below (including by the render-phase compute calls)
+    # resolves it at construction into a concrete ``engine`` field,
+    # which then travels to worker processes inside the pickled config.
+    set_default_engine(args.engine)
 
     executor = _make_executor(args)
     scale, apps = args.scale, args.apps
@@ -516,6 +561,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_topologies(args)
     elif args.command == "directories":
         _cmd_directories()
+    elif args.command == "engines":
+        _cmd_engines()
     elif args.command == "run":
         _cmd_run(args)
     elif args.command == "trace-stats":

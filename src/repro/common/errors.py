@@ -20,3 +20,13 @@ class ProtocolError(ReproError):
 
 class TraceError(ReproError):
     """A malformed workload trace (e.g. mismatched barriers)."""
+
+
+class EngineUnavailableError(ReproError):
+    """A requested engine backend cannot run in this environment.
+
+    Raised when ``SystemConfig.engine`` selects a backend whose optional
+    dependency is missing — e.g. ``"vector"`` without NumPy installed
+    (``pip install .[vector]``).  The default ``"runahead"`` backend has
+    no optional dependencies and never raises this.
+    """

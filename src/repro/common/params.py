@@ -256,6 +256,31 @@ class MachineParams:
         return cpu // self.cpus_per_node
 
 
+# Process-wide default engine backend, resolved into any SystemConfig
+# constructed with engine="default".  ``reproduce --engine`` flips this
+# once, up front, so every config the sweep's figure/table modules
+# build — jobs and render-phase lookups alike — lands on one backend
+# and one set of store keys.
+_default_engine = "runahead"
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process default engine backend; returns the previous one.
+
+    Only configs constructed with ``engine="default"`` (the field
+    default) are affected, and only from this call onward; explicit
+    ``engine=`` arguments and already-built configs keep their value.
+    """
+    global _default_engine
+    if engine not in SystemConfig._ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {SystemConfig._ENGINES}"
+        )
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """A complete system description handed to the simulator.
@@ -275,6 +300,22 @@ class SystemConfig:
     ``"torus"``, and ``"fattree"`` add hop-dependent latency and
     per-link contention governed by ``costs.link_latency`` /
     ``costs.link_occupancy``.
+
+    ``engine`` selects the simulation engine backend (see
+    :mod:`repro.sim.factory`):
+
+    - ``"runahead"`` — the drain-loop scheduler, the production default;
+    - ``"reference"`` — the frozen classic loop, the differential oracle;
+    - ``"vector"``    — the NumPy batch-vectorized epoch engine
+      (requires the optional ``[vector]`` extra).
+
+    All three are bit-identical by contract (the differential property
+    suites pin it), so the choice affects wall time only; it still
+    participates in the result-store identity because stored timings
+    must be attributable to the backend that produced them.  The
+    literal ``"default"`` resolves to the process-wide default engine
+    (:func:`set_default_engine`), which ``reproduce --engine`` uses to
+    steer every config a sweep constructs.
     """
 
     protocol: str = "rnuma"
@@ -293,8 +334,12 @@ class SystemConfig:
     #: "flush" — a less aggressive one flushes them home and refetches
     #: on demand, making C_relocate ~ C_allocate (bound ~3).
     relocation_mode: str = "local"
+    #: simulation engine backend; "default" resolves at construction to
+    #: the process default (normally "runahead").
+    engine: str = "default"
 
     _PROTOCOLS = ("ccnuma", "scoma", "rnuma", "ideal")
+    _ENGINES = ("runahead", "reference", "vector")
     # Mirrors repro.interconnect.topology.TOPOLOGIES (params cannot
     # import it without a package-init cycle); tests/test_topology.py
     # asserts the two stay in sync.
@@ -319,6 +364,17 @@ class SystemConfig:
                 f"unknown relocation_mode {self.relocation_mode!r}; "
                 f"expected one of {self._RELOCATION_MODES}"
             )
+        if self.engine == "default":
+            object.__setattr__(self, "engine", _default_engine)
+        if self.engine not in self._ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {self._ENGINES}"
+            )
+
+    def with_engine(self, engine: str) -> "SystemConfig":
+        """A copy of this config running on a different engine backend."""
+        return replace(self, engine=engine)
 
     def with_protocol(self, protocol: str, **overrides) -> "SystemConfig":
         """A copy of this config running a different protocol.
@@ -376,4 +432,7 @@ def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
         directory=DirectoryParams(**data.get("directory", {})),
         relocation_threshold=data["relocation_threshold"],
         relocation_mode=data["relocation_mode"],
+        # Absent in payloads serialized before engine selection; those
+        # results were produced by the then-only run-ahead backend.
+        engine=data.get("engine", "runahead"),
     )

@@ -52,7 +52,9 @@ from repro.workloads.registry import build_program
 #: v4: configuration identity grew the directory-representation knobs
 #: (SystemConfig.directory) and NodeStats grew ``invalidations_sent``;
 #: pre-directory entries no longer match any run key.
-STORE_SCHEMA_VERSION = 4
+#: v5: configuration identity grew the engine-backend selector
+#: (SystemConfig.engine); pre-engine entries no longer match any run key.
+STORE_SCHEMA_VERSION = 5
 
 #: Environment variable overriding the default store location.
 STORE_ENV_VAR = "REPRO_STORE_DIR"

@@ -35,6 +35,9 @@ def config_key(config: SystemConfig) -> Tuple:
         config.directory,
         config.relocation_threshold,
         config.relocation_mode,
+        # Backends are bit-identical by contract, but stored wall-time
+        # provenance must be attributable to the backend that ran.
+        config.engine,
     )
 
 

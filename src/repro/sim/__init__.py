@@ -2,20 +2,29 @@
 model with per-processor clocks, contention, and barrier synchronization,
 and produces a :class:`SimulationResult`.
 
-Two schedulers share one miss path: the run-ahead engine
-(:func:`simulate`, the production path) and the classic
+Three schedulers share one miss path, selected by ``SystemConfig.engine``
+(see :mod:`repro.sim.factory`): the run-ahead engine (:func:`simulate`
+with the default config, the production path), the classic
 one-event-per-reference loop (:func:`simulate_reference`, the
-differential-testing oracle and benchmark baseline).
+differential-testing oracle and benchmark baseline), and the
+batch-vectorized epoch engine (:func:`simulate_vector`, NumPy-backed,
+optional).
 """
 
 from repro.sim.engine import SimulationEngine, simulate
+from repro.sim.factory import engine_backends, make_engine
 from repro.sim.reference import ReferenceEngine, simulate_reference
 from repro.sim.results import SimulationResult
+from repro.sim.vector import VectorEngine, simulate_vector
 
 __all__ = [
     "ReferenceEngine",
     "SimulationEngine",
     "SimulationResult",
+    "VectorEngine",
+    "engine_backends",
+    "make_engine",
     "simulate",
     "simulate_reference",
+    "simulate_vector",
 ]

@@ -1096,5 +1096,15 @@ def simulate(
     traces: Sequence[Sequence[object]],
     homes: Optional[Dict[int, int]] = None,
 ) -> SimulationResult:
-    """Build an engine, run it, and return the result."""
-    return SimulationEngine(config, traces, homes).run()
+    """Build the engine ``config.engine`` selects, run it, and return
+    the result.
+
+    The default ``"runahead"`` backend constructs directly (no registry
+    hop on the common path); anything else dispatches through
+    :func:`repro.sim.factory.make_engine`.
+    """
+    if config.engine == "runahead":
+        return SimulationEngine(config, traces, homes).run()
+    from repro.sim.factory import simulate_with
+
+    return simulate_with(config, traces, homes)

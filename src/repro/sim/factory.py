@@ -1,0 +1,112 @@
+"""Engine backend registry and selection.
+
+Three interchangeable schedulers drive the same machine model and miss
+path, selected by ``SystemConfig.engine``:
+
+``runahead``
+    The drain-loop scheduler (:class:`~repro.sim.engine.SimulationEngine`),
+    the production default.  No optional dependencies.
+``reference``
+    The frozen classic loop over the pre-columnar structures
+    (:class:`~repro.sim.reference.ReferenceEngine`), the differential
+    oracle.  No optional dependencies.
+``vector``
+    The batch-vectorized epoch engine
+    (:class:`~repro.sim.vector.VectorEngine`).  Requires NumPy
+    (``pip install .[vector]``); selecting it without raises
+    :class:`~repro.common.errors.EngineUnavailableError`.
+
+All three produce bit-identical :class:`SimulationResult`\\ s — the
+differential property suites pin the contract — so the selection is a
+pure speed/dependency trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import EngineUnavailableError
+from repro.common.params import SystemConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimulationResult
+
+
+def _runahead(config, traces, homes):
+    return SimulationEngine(config, traces, homes)
+
+
+def _reference(config, traces, homes):
+    from repro.sim.reference import ReferenceEngine
+
+    return ReferenceEngine(config, traces, homes)
+
+
+def _vector(config, traces, homes):
+    from repro.sim.vector import VectorEngine
+
+    return VectorEngine(config, traces, homes)
+
+
+#: backend name -> constructor taking (config, traces, homes).
+_BUILDERS = {
+    "runahead": _runahead,
+    "reference": _reference,
+    "vector": _vector,
+}
+
+
+def engine_available(name: str) -> bool:
+    """Whether the named backend can run in this environment."""
+    if name == "vector":
+        from repro.sim.vector import numpy_available
+
+        return numpy_available()
+    return name in _BUILDERS
+
+
+def engine_backends() -> List[Dict[str, str]]:
+    """Rows describing every backend, for the CLI ``engines`` listing."""
+    rows = []
+    for name, summary, requires in (
+        ("runahead", "drain-loop scheduler (production default)", "-"),
+        ("reference", "classic per-reference loop (differential oracle)", "-"),
+        ("vector", "batch-vectorized epoch engine", "numpy ([vector] extra)"),
+    ):
+        rows.append(
+            {
+                "name": name,
+                "summary": summary,
+                "requires": requires,
+                "available": engine_available(name),
+            }
+        )
+    return rows
+
+
+def make_engine(
+    config: SystemConfig,
+    traces: Sequence[Sequence[object]],
+    homes: Optional[Dict[int, int]] = None,
+) -> SimulationEngine:
+    """Construct the engine backend ``config.engine`` selects.
+
+    Raises :class:`EngineUnavailableError` when the backend's optional
+    dependency is missing (the config is validated, so an unknown name
+    cannot reach here).
+    """
+    builder = _BUILDERS.get(config.engine)
+    if builder is None:  # defensive: SystemConfig validates the name
+        raise EngineUnavailableError(
+            f"unknown engine {config.engine!r}; "
+            f"expected one of {tuple(_BUILDERS)}"
+        )
+    return builder(config, traces, homes)
+
+
+def simulate_with(
+    config: SystemConfig,
+    traces: Sequence[Sequence[object]],
+    homes: Optional[Dict[int, int]] = None,
+) -> SimulationResult:
+    """Build the selected engine, run it, and return the result."""
+    return make_engine(config, traces, homes).run()

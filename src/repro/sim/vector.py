@@ -1,0 +1,594 @@
+"""Batch-vectorized epoch engine.
+
+A third scheduler sharing :class:`~repro.sim.engine.SimulationEngine`'s
+miss path, built for hit-dominated traces: instead of interpreting every
+reference, it *predicts* each CPU's next schedule-relevant event — the
+first L1 miss of its current inter-barrier epoch slice, or the epoch
+boundary itself — by classifying references in bulk against the live L1
+columns, commits the all-hit run in front of that event analytically,
+and interprets only the miss residue through the inherited ``_miss``
+machinery.
+
+Epoch slicing
+-------------
+
+A compiled trace column is cut at its barrier words into epochs
+(:func:`epoch_index`).  Within an epoch, a CPU's reference *positions*
+in time are affine in the trace index: the pop time of reference ``j``
+is ``shift + popb[j]``, where ``popb`` is the exclusive prefix sum of
+the per-word base durations (``think + 1`` for accesses, ``0`` for
+barrier words) and ``shift`` absorbs miss latencies and barrier
+releases.  That turns "which references pop before time T" into one
+``searchsorted`` and lets a whole hit run settle with no per-reference
+work.
+
+Hit settlement / miss residue
+-----------------------------
+
+Classification is a pure read of the CPU's own L1 columns (tag match;
+writes additionally need M or E), so a run of predicted hits stays
+valid until some miss *mutates* L1 state.  The scheduler therefore
+orders only misses: a min-heap holds each running CPU's predicted
+event, packed as ``time * n_cpus + cpu`` exactly like the run-ahead
+heap, and a miss executes only when it is the global minimum — at
+which point every reference popping before it, on every CPU, is a
+committed hit and the machine state it reads is exact.
+
+Every L1 mutation ``_miss`` performs lands either on the requesting
+node (peer snoops, write invalidations, cache-victim evictions, page
+relocations/replacements) or, tag-guarded on the missed block, on the
+home node and the directory's sharer/owner nodes.  Before a miss
+executes, the engine advances that conservative *affected set* of CPUs
+up to the miss's event order (committing their earlier hits, applying
+their E->M write upgrades) and re-predicts them against the mutated
+state afterwards; CPUs outside the set keep their predictions, and an
+affected CPU whose prediction has no pending hits keeps its too (a
+foreign miss can only turn predicted hits into misses, never a miss
+back into a hit, because remote fills never land in another CPU's L1).
+docs/architecture.md ("Vectorized epoch engine") walks through the
+argument.
+
+The classifier itself is hybrid: a short scalar probe (identical to the
+run-ahead loop's two-array-load hit check) resolves the miss-dominated
+regimes without NumPy overhead, and only runs longer than the probe
+escape to geometrically growing vectorized chunks — which is what keeps
+the run-length-1 ``page_thrash`` worst case at interpreter speed while
+all-hit epochs settle in a handful of array ops.
+
+NumPy is an optional dependency (``pip install .[vector]``); building a
+:class:`VectorEngine` without it raises
+:class:`~repro.common.errors.EngineUnavailableError`.  Results are
+bit-identical to :mod:`repro.sim.reference` — the frozen oracle — under
+the differential property suites, the same contract every engine
+rewrite in this repo has shipped under.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+try:  # optional extra: pip install .[vector]
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the no-NumPy CI leg
+    _np = None
+
+from repro.common.errors import EngineUnavailableError, TraceError
+from repro.common.params import SystemConfig
+from repro.common.records import ADDR_SHIFT, THINK_MASK
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimulationResult
+
+# Prediction kinds.
+_MISS, _STOP = 0, 1
+# CPU status.
+_RUNNING, _PARKED, _DONE = 0, 1, 2
+
+#: references the scalar probe classifies before escaping to NumPy;
+#: also the threshold below which cursor advances walk instead of
+#: binary-searching.  Chosen so run-length ~1 workloads never touch a
+#: vector op.
+_SCALAR_PROBE = 24
+#: first vectorized chunk; grows geometrically up to the epoch end.
+_FIRST_CHUNK = 256
+
+
+def numpy_available() -> bool:
+    """Whether the optional NumPy dependency is importable."""
+    return _np is not None
+
+
+def epoch_index(column) -> tuple:
+    """Epoch/time index of one packed trace column.
+
+    Returns ``(stops, dur, popb)``:
+
+    - ``stops`` — the positions of the column's barrier words, plus a
+      final sentinel ``len(column)``: consecutive entries bound the
+      half-open epoch slices ``[stop_k-1 + 1, stop_k)`` (with ``-1``
+      before the first), so every access word belongs to exactly one
+      slice and every barrier word is a boundary;
+    - ``dur`` — per-word base duration as an int64 ndarray: ``think+1``
+      for access words (the cycles the reference occupies its CPU,
+      excluding miss latency), ``0`` for barrier words;
+    - ``popb`` — exclusive prefix sum of ``dur``, length
+      ``len(column) + 1``: word ``j`` of the column pops at
+      ``shift + popb[j]`` for the epoch-local time base ``shift``.
+
+    Pure trace arithmetic — no machine state — so the round-trip
+    property tests can pin it directly against word decoding.
+    """
+    if _np is None:  # pragma: no cover - exercised via the no-NumPy CI leg
+        raise EngineUnavailableError(
+            "epoch indexing requires NumPy (pip install .[vector])"
+        )
+    words = _np.frombuffer(column, dtype=_np.int64)
+    accesses = words >= 0
+    dur = _np.where(accesses, ((words >> 1) & THINK_MASK) + 1, 0)
+    popb = _np.zeros(len(words) + 1, dtype=_np.int64)
+    _np.cumsum(dur, out=popb[1:])
+    stops = _np.flatnonzero(~accesses).tolist()
+    stops.append(len(words))
+    return stops, dur, popb
+
+
+class VectorEngine(SimulationEngine):
+    """Run-ahead's machine model driven by the epoch frontier scheduler.
+
+    Construction mirrors :class:`SimulationEngine` (same traces, same
+    homes, same machine) and adds immutable per-column NumPy indexes;
+    :meth:`reset` is inherited unchanged, so back-to-back runs are
+    bit-identical exactly as for the parent.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: Sequence[Sequence[object]],
+        homes: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if _np is None:
+            raise EngineUnavailableError(
+                "engine 'vector' requires NumPy (pip install .[vector]); "
+                "fall back to engine='runahead'"
+            )
+        super().__init__(config, traces, homes)
+
+        block_unpack = ADDR_SHIFT + self._block_shift
+        # Immutable per-CPU trace indexes (epoch_index plus the decoded
+        # block/set/write columns the classifier gathers with).  All
+        # derived from the packed columns only, so they survive reset().
+        self._ep_stops: List[List[int]] = []
+        self._ep_popb_np = []
+        self._ep_popb: List[List[int]] = []  # plain ints for scalar math
+        self._cl_blk = []
+        self._cl_idx = []
+        self._cl_wr = []
+        for c, column in enumerate(self._columns):
+            stops, _dur, popb = epoch_index(column)
+            self._ep_stops.append(stops)
+            self._ep_popb_np.append(popb)
+            self._ep_popb.append(popb.tolist())
+            words = _np.frombuffer(column, dtype=_np.int64)
+            blk = words >> block_unpack
+            self._cl_blk.append(blk)
+            self._cl_idx.append(blk & self._l1_of_cpu[c].mask)
+            self._cl_wr.append((words & 1).astype(bool))
+
+        # Writable NumPy views over the live L1 columns (the buffers
+        # keep their identity across reset(), so the views stay live).
+        self._l1b_np = [
+            _np.frombuffer(l1.block_at, dtype=_np.int64) for l1 in self._l1_of_cpu
+        ]
+        self._l1s_np = [
+            _np.frombuffer(l1.state_at, dtype=_np.uint8) for l1 in self._l1_of_cpu
+        ]
+        mp = config.machine
+        self._cpus_of_node: List[List[int]] = [
+            [] for _ in range(mp.nodes)
+        ]
+        for c in range(mp.total_cpus):
+            self._cpus_of_node[self._node_of_cpu[c]].append(c)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:  # noqa: C901 - one hot loop, like run-ahead's
+        np = _np
+        costs = self.config.costs
+        barrier_cost = costs.barrier_cost
+        block_unpack = ADDR_SHIFT + self._block_shift
+        think_mask = THINK_MASK
+        traces = self._columns
+        n_cpus = len(traces)
+        n_nodes = len(self.machine.nodes)
+        node_of = self._node_of_cpu
+        cpus_of_node = self._cpus_of_node
+        homes = self.homes
+        bps = self._block_page_shift
+        dir_slots = self._dir_slots
+        dir_owners = self._dir_owners
+        dir_sharers = self._dir_sharers
+        miss = self._miss
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+
+        # Per-CPU scalar-hot context: the packed column, the classifier
+        # columns, the popb tables, and the CPU's own L1 arrays.
+        cols = traces
+        popb = self._ep_popb
+        popb_np = self._ep_popb_np
+        blkc = self._cl_blk
+        idxc = self._cl_idx
+        wrc = self._cl_wr
+        l1b = [l1.block_at for l1 in self._l1_of_cpu]
+        l1s = [l1.state_at for l1 in self._l1_of_cpu]
+        l1m = [l1.mask for l1 in self._l1_of_cpu]
+        l1b_np = self._l1b_np
+        l1s_np = self._l1s_np
+        stops_of = self._ep_stops
+
+        # Mutable schedule state.
+        p = [0] * n_cpus          # cursor: first uncommitted word
+        shift = [0] * n_cpus      # pop(j) = shift + popb[j]
+        epoch = [0] * n_cpus      # index into stops_of[c]
+        status = [_RUNNING] * n_cpus
+        pk = [0] * n_cpus         # predicted stop: first miss or epoch end
+        pev = [0] * n_cpus        # its packed event: pop * n_cpus + cpu
+        pkind = [_STOP] * n_cpus
+        pups = [None] * n_cpus    # (word, set) E->M upgrades of the hit run,
+        #                           or None => recompute vectorized at commit
+        pending = [False] * n_cpus  # pk[c] > p[c]: uncommitted predicted hits
+
+        misses_acc = [0] * n_nodes
+        stall_acc = [0] * n_nodes
+        finish = [0] * n_cpus
+        barrier_arrivals: Dict[int, List] = {}
+
+        predictions = 0
+        vector_refs = 0  # references classified through the NumPy path
+        scalar_refs = 0  # references classified by the scalar probe
+        #: CPUs with uncommitted predicted hits.  While zero — the
+        #: steady state of miss-dominated runs — a miss has nothing to
+        #: advance and no prediction it could invalidate (a foreign
+        #: miss never turns a predicted miss into a hit), so the whole
+        #: affected-set scan is skipped.
+        n_pending = 0
+
+        def predict(c: int) -> None:
+            """Classify forward from p[c] to the first miss or the epoch
+            stop; record the prediction (and the hit run's E->M set)."""
+            nonlocal predictions, vector_refs, scalar_refs, n_pending
+            predictions += 1
+            if pending[c]:
+                pending[c] = False
+                n_pending -= 1
+            j = j0 = p[c]
+            stop = stops_of[c][epoch[c]]
+            col = cols[c]
+            blocks = l1b[c]
+            states = l1s[c]
+            lmask = l1m[c]
+            ups = None
+            probe_end = j + _SCALAR_PROBE
+            if probe_end > stop:
+                probe_end = stop
+            while j < probe_end:
+                word = col[j]
+                b = word >> block_unpack
+                idx = b & lmask
+                if blocks[idx] == b:
+                    st = states[idx]
+                    if not word & 1 or st == 4:
+                        j += 1
+                        continue
+                    if st == 2:
+                        if ups is None:
+                            ups = []
+                        ups.append((j, idx))
+                        j += 1
+                        continue
+                # miss (tag mismatch, or a write on S/O)
+                scalar_refs += j - j0 + 1
+                pk[c] = j
+                pkind[c] = _MISS
+                pev[c] = (shift[c] + popb[c][j]) * n_cpus + c
+                pups[c] = ups
+                if j > j0:
+                    pending[c] = True
+                    n_pending += 1
+                return
+            scalar_refs += j - j0
+            if j < stop:
+                # Long hit run so far: classify ahead in growing chunks.
+                blk = blkc[c]
+                idx = idxc[c]
+                wr = wrc[c]
+                tb = l1b_np[c]
+                ts = l1s_np[c]
+                chunk = _FIRST_CHUNK
+                k = -1
+                while j < stop:
+                    e = j + chunk
+                    if e > stop:
+                        e = stop
+                    sl = slice(j, e)
+                    isl = idx[sl]
+                    stl = ts[isl]
+                    hit = (tb[isl] == blk[sl]) & (
+                        ~wr[sl] | (stl == 4) | (stl == 2)
+                    )
+                    vector_refs += e - j
+                    m = int(np.argmin(hit))
+                    if not hit[m]:
+                        k = j + m
+                        break
+                    j = e
+                    chunk <<= 2
+                ups = None  # recompute vectorized at commit
+                if k >= 0:
+                    pk[c] = k
+                    pkind[c] = _MISS
+                    pev[c] = (shift[c] + popb[c][k]) * n_cpus + c
+                    pups[c] = None
+                    if k > j0:
+                        pending[c] = True
+                        n_pending += 1
+                    return
+            pk[c] = stop
+            pkind[c] = _STOP
+            pev[c] = (shift[c] + popb[c][stop]) * n_cpus + c
+            pups[c] = ups
+            if stop > j0:
+                pending[c] = True
+                n_pending += 1
+
+        def commit(c: int, q: int) -> None:
+            """Commit the predicted hits [p[c], q): apply their E->M
+            upgrades and advance the cursor.  Caller guarantees every
+            committed reference pops no later than the current global
+            minimum event, so applying the upgrades now is exact."""
+            nonlocal n_pending
+            j0 = p[c]
+            if q == j0:
+                return
+            if q == pk[c] and pending[c]:
+                pending[c] = False
+                n_pending -= 1
+            ups = pups[c]
+            if ups is None:
+                # Vectorized recompute over the whole run: writes whose
+                # snapshot state is E upgrade to M.  Snapshot semantics
+                # match sequential execution because an all-hit run only
+                # ever moves lines E->M, which preserves every verdict,
+                # and duplicate upgrades are idempotent.
+                iw = idxc[c][j0:q][wrc[c][j0:q]]
+                if iw.size:
+                    sn = l1s_np[c]
+                    sel = iw[sn[iw] == 2]
+                    if sel.size:
+                        sn[sel] = 4
+            else:
+                states = l1s[c]
+                for j, idx in ups:
+                    if j >= q:
+                        break
+                    states[idx] = 4
+            p[c] = q
+
+        def advance_to(c: int, bound: int) -> None:
+            """Commit c's predicted hits whose packed event precedes
+            ``bound`` (an exclusive packed (time, cpu) order bound)."""
+            j = p[c]
+            k = pk[c]
+            if k == j:
+                return
+            # pop * n_cpus + c < bound  <=>  popb[j] <= limit
+            limit = (bound - c - 1) // n_cpus - shift[c]
+            pb = popb[c]
+            if k - j <= _SCALAR_PROBE:
+                q = j
+                while q < k and pb[q] <= limit:
+                    q += 1
+            else:
+                q = j + int(
+                    np.searchsorted(popb_np[c][j:k], limit, side="right")
+                )
+            commit(c, q)
+
+        # Initial predictions; heap of packed events, one compare per
+        # sift.  Superseded predictions leave their entries in place
+        # and are recognized on pop: a popped value that differs from
+        # the CPU's *current* ``pev`` is stale.  Processing a turn
+        # strictly increases ``pev`` (the cursor moves past ``k`` and
+        # every word lasts at least one cycle) or parks the CPU, so a
+        # matching value is acted on at most once — and acting on any
+        # matching pop is exact, because the popped value is the heap
+        # minimum, making c's predicted event the global minimum.
+        heap = []
+        for c in range(n_cpus):
+            predict(c)
+            heap.append(pev[c])
+        heapq.heapify(heap)
+
+        touched: List[int] = []  # affected-set scratch, reused per miss
+
+        while heap:
+            ev = heappop(heap)
+            # c's predicted event is the global minimum: every CPU's
+            # references before it are committed or predicted hits, so
+            # acting on it is schedule-exact.  Keep c in hand while its
+            # next prediction still precedes the heap head (the heap is
+            # current: affected CPUs re-predict eagerly), mirroring the
+            # run-ahead drain.
+            while True:
+                c = ev % n_cpus
+                if pev[c] != ev or status[c] != _RUNNING:
+                    break
+                k = pk[c]
+                if pkind[c] == _MISS:
+                    if p[c] != k:
+                        commit(c, k)
+                    word = cols[c][k]
+                    b = word >> block_unpack
+                    bound = ev
+
+                    # Conservative affected set: CPUs whose L1 state
+                    # this miss may read or mutate.  Own-node peers
+                    # always (snoops, write invalidation, cache-victim
+                    # eviction, page-operation flushes); home/sharer/
+                    # owner-node CPUs only if their L1 holds b (every
+                    # remote mutation is tag-guarded on b).  CPUs whose
+                    # prediction has no pending hits stay valid: a
+                    # foreign miss never fills another L1, so their
+                    # predicted miss cannot become a hit.
+                    del touched[:]
+                    if n_pending:
+                        own = node_of[c]
+                        g_page = b >> bps
+                        ds = dir_slots.get(b)
+                        mask = 0
+                        if ds is not None:
+                            mask = dir_sharers[ds]
+                            o = dir_owners[ds]
+                            if o >= 0:
+                                mask |= 1 << o
+                        mask |= 1 << homes.get(g_page, own)
+                        mask &= ~(1 << own)
+                        for d in cpus_of_node[own]:
+                            if d != c and status[d] == _RUNNING and pending[d]:
+                                touched.append(d)
+                        while mask:
+                            low = mask & -mask
+                            mask ^= low
+                            for d in cpus_of_node[low.bit_length() - 1]:
+                                if (
+                                    status[d] == _RUNNING
+                                    and pending[d]
+                                    and l1b[d][b & l1m[d]] == b
+                                ):
+                                    touched.append(d)
+                        for d in touched:
+                            advance_to(d, bound)
+
+                    # The ordered residue: the inherited miss path, at
+                    # the exact (time, cpu) the classic loop would run.
+                    t = (bound - c) // n_cpus
+                    now = t + ((word >> 1) & think_mask)
+                    idx = b & l1m[c]
+                    st = l1s[c][idx] if l1b[c][idx] == b else 0
+                    lat = miss(c, b, word & 1, st, now)
+                    nid = node_of[c]
+                    misses_acc[nid] += 1
+                    stall_acc[nid] += lat
+                    p[c] = k + 1
+                    shift[c] += lat
+
+                    for d in touched:
+                        predict(d)
+                        heappush(heap, pev[d])
+                    # Re-predict c.  The immediate re-miss (run length
+                    # zero) dominates miss-heavy regimes, so classify
+                    # just the next word inline and only fall back to
+                    # the general path when it hits or the epoch ends.
+                    j = k + 1
+                    if j < stops_of[c][epoch[c]]:
+                        word = cols[c][j]
+                        b = word >> block_unpack
+                        idx = b & l1m[c]
+                        if l1b[c][idx] != b or (
+                            word & 1 and l1s[c][idx] not in (2, 4)
+                        ):
+                            predictions += 1
+                            scalar_refs += 1
+                            pk[c] = j
+                            # pkind[c] is already _MISS
+                            pev[c] = (shift[c] + popb[c][j]) * n_cpus + c
+                            pups[c] = None
+                        else:
+                            predict(c)
+                    else:
+                        predict(c)
+                else:
+                    # Epoch stop: commit the hit run, then retire the
+                    # trace or park at the barrier.
+                    commit(c, k)
+                    at = shift[c] + popb[c][k]
+                    if k == len(cols[c]):
+                        finish[c] = at
+                        status[c] = _DONE
+                        break
+                    ident = -1 - cols[c][k]
+                    arrivals = barrier_arrivals.setdefault(ident, [])
+                    arrivals.append((at, c))
+                    status[c] = _PARKED
+                    if len(arrivals) == n_cpus:
+                        release = max(a for a, _ in arrivals) + barrier_cost
+                        for a, c2 in arrivals:
+                            self._mctx[c2][2].barrier_wait_cycles += release - a
+                            status[c2] = _RUNNING
+                            epoch[c2] += 1
+                            p[c2] = pk[c2] + 1
+                            shift[c2] = release - popb[c2][p[c2]]
+                            predict(c2)
+                            heappush(heap, pev[c2])
+                        del barrier_arrivals[ident]
+                        self.machine.stats.barriers_crossed += 1
+                    break
+                if heap and pev[c] >= heap[0]:
+                    ev = heappushpop(heap, pev[c])
+                else:
+                    ev = pev[c]
+
+        if barrier_arrivals:
+            waiting = sorted(barrier_arrivals)
+            raise TraceError(
+                f"deadlock: barriers {waiting[:4]} never completed "
+                "(some trace ended before reaching them)"
+            )
+
+        # Analytic settlement, identical to the run-ahead engine's:
+        # hits = accesses - misses; every access contributes think+1
+        # busy cycles, hit or miss.
+        access_acc = [0] * n_nodes
+        busy_acc = [0] * n_nodes
+        for c, (accesses, think, _runs) in enumerate(self._cpu_profile()):
+            access_acc[node_of[c]] += accesses
+            busy_acc[node_of[c]] += accesses + think
+        machine = self.machine
+        for nid in range(n_nodes):
+            ns = machine.nodes[nid].stats
+            ns.l1_hits += access_acc[nid] - misses_acc[nid]
+            ns.l1_misses += misses_acc[nid]
+            ns.busy_cycles += busy_acc[nid]
+            ns.stall_cycles += stall_acc[nid]
+
+        # vector_refs/scalar_refs count *classification work* per path;
+        # re-predictions reclassify, so their sum can exceed refs.
+        total_refs = sum(access_acc)
+        self.sched_stats = {
+            "refs": total_refs,
+            "predictions": predictions,
+            "vector_refs": vector_refs,
+            "scalar_refs": scalar_refs,
+        }
+        return SimulationResult(
+            config=self.config,
+            exec_cycles=max(finish) if finish else 0,
+            cpu_finish_times=finish,
+            stats=machine.stats,
+            refetch_counts=machine.refetch_counts,
+            rw_shared_pages=frozenset(machine.read_write_shared_pages()),
+            remote_pages_touched=len(machine.page_requesters),
+        )
+
+
+def simulate_vector(
+    config: SystemConfig,
+    traces: Sequence[Sequence[object]],
+    homes: Optional[Dict[int, int]] = None,
+) -> SimulationResult:
+    """Build a vector engine, run it, and return the result."""
+    return VectorEngine(config, traces, homes).run()

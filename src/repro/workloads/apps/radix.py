@@ -17,8 +17,6 @@ CC-NUMA by a large factor (Figure 6).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.common.addressing import AddressSpace
 from repro.common.params import MachineParams
 from repro.workloads.base import Program, TraceBuilder, scaled
@@ -36,6 +34,13 @@ def build(
     scale: float = 1.0,
     seed: int = 99,
 ) -> Program:
+    # Deferred so `import repro` works in NumPy-free environments (the
+    # simulator itself has no hard dependency); only *generating* this
+    # trace needs NumPy — the key digits and the stable rank permutation
+    # are pinned to its seeded RNG and argsort, so swapping in the
+    # stdlib would silently change every frozen radix result.
+    import numpy as np
+
     cpus = machine.total_cpus
     n = scaled(100352, scale, cpus * 512)
     n -= n % cpus

@@ -1,0 +1,92 @@
+"""Property tests pinning :func:`repro.sim.vector.epoch_index` against
+plain word decoding of the packed trace columns.
+
+The vector engine's whole time model hangs off this index: reference
+``j`` of an epoch pops at ``shift + popb[j]``, and epochs are the
+half-open slices between consecutive ``stops`` entries.  These tests
+check the index is a lossless re-description of the column — every
+access word lands in exactly one epoch slice, barrier words are exactly
+the slice boundaries (idents preserved, in order), and the ``popb``
+prefix sums reproduce each word's ``think + 1`` duration — so a bug
+here fails fast and local instead of surfacing as a scheduling drift
+three layers up.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.common.records import Access, Barrier, as_columns
+from repro.sim.vector import epoch_index
+
+from tests.property.test_runahead_differential import programs
+
+pytestmark = pytest.mark.vector
+
+
+def _check_column_roundtrip(column, trace):
+    """``epoch_index(column)`` against the decoded ``trace`` items."""
+    stops, dur, popb = epoch_index(column)
+
+    # stops: exactly the barrier positions, in order, plus the sentinel.
+    barrier_positions = [j for j, it in enumerate(trace) if isinstance(it, Barrier)]
+    assert stops == barrier_positions + [len(trace)]
+
+    # Barrier identities survive the packing (idents are the engine's
+    # rendezvous keys, so a permutation here would deadlock or cross
+    # the wrong barrier).
+    for pos in barrier_positions:
+        assert -1 - column[pos] == trace[pos].ident
+
+    # dur/popb: every access contributes think+1, barriers nothing.
+    assert len(popb) == len(trace) + 1
+    assert popb[0] == 0
+    for j, item in enumerate(trace):
+        expected = item.think + 1 if isinstance(item, Access) else 0
+        assert dur[j] == expected
+        assert popb[j + 1] - popb[j] == expected
+
+    # Epoch slices partition the access words: each access index lands
+    # in exactly one half-open slice, each slice holds only accesses.
+    seen = []
+    prev = -1
+    for stop in stops:
+        for j in range(prev + 1, stop):
+            assert isinstance(trace[j], Access)
+            seen.append(j)
+        prev = stop
+    assert seen == [j for j, it in enumerate(trace) if isinstance(it, Access)]
+
+    # Barrier counters: slices-1 == barriers, accesses preserved.
+    assert len(stops) - 1 == len(barrier_positions)
+    assert len(seen) == sum(1 for it in trace if isinstance(it, Access))
+
+
+@given(traces=programs())
+@settings(max_examples=200, deadline=None)
+def test_epoch_index_roundtrips_random_traces(traces):
+    columns, _ = as_columns(traces)
+    for column, trace in zip(columns, traces):
+        _check_column_roundtrip(column, list(trace))
+
+
+def test_epoch_index_roundtrips_a_compiled_app():
+    """Against a real compiled program, via the lazy decode view."""
+    from repro.workloads.registry import build_program
+
+    program = build_program("em3d", scale=0.05)
+    for column, view in zip(program.columns, program.traces):
+        _check_column_roundtrip(column, list(view))
+
+    # The index's totals agree with the program's O(1) counters.
+    for cpu, column in enumerate(program.columns):
+        stops, _dur, _popb = epoch_index(column)
+        assert len(stops) - 1 == program.barrier_count
+        assert len(column) - (len(stops) - 1) == program.access_counts[cpu]
+
+
+def test_epoch_index_on_an_empty_column():
+    columns, _ = as_columns([[]])
+    stops, dur, popb = epoch_index(columns[0])
+    assert stops == [0]
+    assert len(dur) == 0
+    assert list(popb) == [0]

@@ -1,0 +1,166 @@
+"""Differential property test: the batch-vectorized epoch engine
+against the frozen reference loop and the run-ahead scheduler.
+
+The vector engine (:mod:`repro.sim.vector`) claims *frontier
+exactness*: only misses need global ordering, so committing every
+predicted hit in front of the current minimum event — and re-predicting
+just the conservative affected set after each miss — reproduces the
+classic pop order tuple-for-tuple.  As with the run-ahead suite, the
+claim is only worth anything on adversarial inputs: same-cycle
+cross-CPU conflicts on one cache set, write upgrades racing
+invalidations, barrier ties, predictions invalidated mid-run.  The
+whole :class:`~repro.sim.results.SimulationResult` must match.
+
+Oracle scope mirrors ``test_directory_repr_differential``: the
+reference engine always simulates the full-map directory, so the
+vector engine is pinned against it on exact-capacity representations
+and against the run-ahead engine (same directory implementations,
+already differentially pinned) on the inexact limited/coarse ones.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import DirectoryParams, MachineParams
+from repro.sim import simulate, simulate_reference, simulate_vector
+
+from tests.conftest import tiny_config
+from tests.property.test_runahead_differential import (
+    PROTOCOLS,
+    _wide_machine_traces,
+    assert_identical_results,
+    programs,
+)
+
+pytestmark = pytest.mark.vector
+
+TOPOLOGIES = ("uniform", "mesh", "fattree")
+
+#: Inexact sharer-set representations: compared against run-ahead.
+INEXACT_PARAMS = (
+    DirectoryParams(representation="limited", pointers=1, overflow="broadcast"),
+    DirectoryParams(representation="limited", pointers=1, overflow="evict"),
+    DirectoryParams(representation="coarse", region_size=2),
+)
+
+
+@given(traces=programs(), protocol=st.sampled_from(PROTOCOLS))
+@settings(max_examples=200, deadline=None)
+def test_vector_matches_reference(traces, protocol):
+    config = tiny_config(protocol)
+    fast = simulate_vector(config, [list(t) for t in traces])
+    slow = simulate_reference(config, [list(t) for t in traces])
+    assert_identical_results(fast, slow)
+
+
+@given(
+    traces=programs(),
+    protocol=st.sampled_from(PROTOCOLS),
+    topology=st.sampled_from(TOPOLOGIES),
+)
+@settings(max_examples=60, deadline=None)
+def test_vector_matches_reference_across_topologies(traces, protocol, topology):
+    """Link-level contention charges depend on event order, so the
+    non-uniform fabrics catch scheduling drift the uniform one hides."""
+    config = tiny_config(protocol, topology=topology)
+    fast = simulate_vector(config, [list(t) for t in traces])
+    slow = simulate_reference(config, [list(t) for t in traces])
+    assert_identical_results(fast, slow)
+
+
+@given(traces=programs())
+@settings(max_examples=40, deadline=None)
+def test_vector_matches_reference_multi_cpu_nodes(traces):
+    """Two CPUs per node: intra-node snoops, peer invalidations, and
+    same-set races between slots go through the affected-set path."""
+    traces = [list(traces[0]), list(traces[1]), list(traces[1]), list(traces[0])]
+    for protocol in PROTOCOLS:
+        config = tiny_config(
+            protocol, machine=MachineParams(nodes=2, cpus_per_node=2)
+        )
+        fast = simulate_vector(config, [list(t) for t in traces])
+        slow = simulate_reference(config, [list(t) for t in traces])
+        assert_identical_results(fast, slow)
+
+
+@given(traces=programs(), protocol=st.sampled_from(PROTOCOLS))
+@settings(max_examples=60, deadline=None)
+def test_vector_matches_runahead_on_inexact_directories(traces, protocol):
+    """Limited-pointer and coarse-vector sharer sets change *which*
+    nodes a miss touches, so they stress the conservative affected-set
+    pre-read (which must stay a superset under broadcast saturation and
+    region expansion).  The reference engine only models the full map,
+    so run-ahead — bit-identical to it there — is the oracle here."""
+    for params in INEXACT_PARAMS:
+        config = tiny_config(protocol, directory=params)
+        fast = simulate_vector(config, [list(t) for t in traces])
+        slow = simulate(config, [list(t) for t in traces])
+        assert_identical_results(fast, slow)
+
+
+@given(traces=programs())
+@settings(max_examples=20, deadline=None)
+def test_vector_matches_runahead_inexact_multi_cpu_nodes(traces):
+    """The combination that bites hardest: inexact sharer sets *and*
+    multiple CPUs per node (own-node peers plus region fan-out)."""
+    traces = [list(traces[0]), list(traces[1]), list(traces[1]), list(traces[0])]
+    machine = MachineParams(nodes=2, cpus_per_node=2)
+    for protocol in PROTOCOLS:
+        for params in INEXACT_PARAMS:
+            config = tiny_config(protocol, machine=machine, directory=params)
+            fast = simulate_vector(config, [list(t) for t in traces])
+            slow = simulate(config, [list(t) for t in traces])
+            assert_identical_results(fast, slow)
+
+
+def test_vector_matches_reference_on_an_app_program():
+    """End-to-end: a real compiled workload, all four protocols."""
+    from repro.experiments.config import cc_config, ideal, rnuma_config, scoma_config
+    from repro.workloads.registry import build_program
+
+    program = build_program("em3d", scale=0.05)
+    for config in (ideal(), cc_config(), scoma_config(), rnuma_config()):
+        fast = simulate_vector(config, program)
+        slow = simulate_reference(config, program)
+        assert_identical_results(fast, slow)
+
+
+def test_vector_is_reset_deterministic():
+    """Back-to-back runs on one engine instance: reset() must restore
+    every live structure the NumPy views alias (the views are built
+    once, so a buffer identity change would silently decouple them)."""
+    from repro.experiments.config import cc_config, rnuma_config
+    from repro.sim.vector import VectorEngine
+    from repro.workloads.registry import build_program
+
+    program = build_program("em3d", scale=0.05)
+    for config in (cc_config(), rnuma_config()):
+        engine = VectorEngine(config, program)
+        first = engine.run()
+        engine.reset()
+        second = engine.run()
+        assert_identical_results(first, second)
+
+
+def test_vector_matches_reference_at_64_nodes():
+    """The wide-machine tier: frontier exactness must not decay with
+    node count (bigger sharer masks, deeper fabrics)."""
+    machine = MachineParams(nodes=64, cpus_per_node=1)
+    traces = _wide_machine_traces(64)
+    for protocol in PROTOCOLS:
+        config = tiny_config(protocol, machine=machine)
+        fast = simulate_vector(config, [list(t) for t in traces])
+        slow = simulate_reference(config, [list(t) for t in traces])
+        assert_identical_results(fast, slow)
+
+
+@pytest.mark.large_n
+def test_vector_matches_reference_at_256_nodes():
+    machine = MachineParams(nodes=256, cpus_per_node=1)
+    traces = _wide_machine_traces(256)
+    for protocol in PROTOCOLS:
+        config = tiny_config(protocol, machine=machine)
+        fast = simulate_vector(config, [list(t) for t in traces])
+        slow = simulate_reference(config, [list(t) for t in traces])
+        assert_identical_results(fast, slow)
