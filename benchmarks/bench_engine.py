@@ -43,6 +43,15 @@ records ``vector_refs_per_s`` / ``vector_speedup`` (vs reference) /
 absent and a ``provenance`` entry records ``"numpy": "absent"`` so a
 reader of the JSON knows *why*.
 
+Every scenario also times the per-config specialized miss path
+(:class:`~repro.sim.specialized.SpecializedEngine` — no optional
+dependencies) and records ``specialized_refs_per_s`` /
+``specialized_speedup`` (vs reference) / ``specialized_vs_runahead``.
+``--profile`` additionally runs the four miss-dominated scenarios under
+cProfile and records each engine's ``_miss`` share of run wall time in
+a ``profile`` section — the fraction of the run the specialization can
+actually touch, which bounds its possible win.
+
 Results are also written as ``benchmarks/BENCH_engine.json`` by
 ``python -m benchmarks.bench_engine`` so the refs/sec trajectory is
 tracked across PRs; ``benchmarks/smoke.py`` runs the comparison at a
@@ -69,6 +78,7 @@ from repro.experiments.executor import Executor, Job
 from repro.experiments.runner import ResultCache
 from repro.sim.engine import SimulationEngine, simulate
 from repro.sim.reference import ReferenceEngine
+from repro.sim.specialized import SpecializedEngine
 from repro.sim.vector import VectorEngine, numpy_available
 from repro.workloads.compile import CompiledProgram
 from repro.workloads.registry import build_program
@@ -262,6 +272,15 @@ def _compare(config, program, repeats: int) -> dict:
         ),
         "mean_run_length": refs / fast_sched["drains"] if fast_sched["drains"] else 0.0,
     }
+    spec_r, spec_dt, _spec_sched = _time_engine(
+        SpecializedEngine, config, program, repeats
+    )
+    assert _results_identical(spec_r, slow_r), (
+        "specialized and reference engines disagree — benchmark void"
+    )
+    row["specialized_refs_per_s"] = refs / spec_dt
+    row["specialized_speedup"] = slow_dt / spec_dt
+    row["specialized_vs_runahead"] = fast_dt / spec_dt
     if numpy_available():
         vec_r, vec_dt, vec_sched = _time_engine(
             VectorEngine, config, program, repeats
@@ -442,6 +461,97 @@ def assert_vector_floor(
     return measured
 
 
+#: scenarios the specialized-backend floor tracks: the issue's four
+#: acceptance scenarios (the end-to-end mix plus the three
+#: miss-dominated streams the specialization targets).
+SPECIALIZED_SCENARIOS = ("app", "miss_stream", "migratory", "page_thrash")
+
+
+def assert_specialized_floor(
+    numbers: dict, recorded: dict, tolerance: float = 0.9
+) -> float:
+    """CI gate: the specialized backend's standing vs run-ahead must
+    not regress >10% against the recorded ``BENCH_engine.json``.
+
+    Same geomean construction as :func:`assert_vector_floor`, over
+    ``specialized_vs_runahead`` for :data:`SPECIALIZED_SCENARIOS`.
+    Skips (returns 0.0) when the recorded JSON predates the specialized
+    columns.  Returns the measured geomean.
+    """
+    measured = 1.0
+    baseline = 1.0
+    for name in SPECIALIZED_SCENARIOS:
+        m = numbers["scenarios"][name].get("specialized_vs_runahead")
+        b = recorded["scenarios"][name].get("specialized_vs_runahead")
+        if m is None or b is None:
+            return 0.0
+        measured *= m
+        baseline *= b
+    measured **= 1 / len(SPECIALIZED_SCENARIOS)
+    baseline **= 1 / len(SPECIALIZED_SCENARIOS)
+    floor = tolerance * baseline
+    assert measured >= floor, (
+        f"specialized-engine speedup geomean {measured:.2f}x regressed below "
+        f"{floor:.2f}x (recorded {baseline:.2f}x - 10%)"
+    )
+    return measured
+
+
+def profile_miss_share(scale: float = 0.25) -> dict:
+    """Per-scenario ``_miss`` share of run wall time, under cProfile.
+
+    For each of :data:`SPECIALIZED_SCENARIOS`, runs the run-ahead and
+    specialized engines once under the profiler and reports the
+    cumulative time spent in ``_miss`` (the interpreted method or the
+    generated closure — callees included) as a fraction of the whole
+    run.  That fraction bounds what miss-path specialization can win:
+    a scenario at 0.5 caps the end-to-end speedup at 2x even for a
+    free ``_miss``.  cProfile's per-call overhead inflates call-heavy
+    code, so these shares are for *attribution*, not for cross-engine
+    speedup claims — the wall-clock columns above are the comparison.
+    """
+    import cProfile
+    import pstats
+
+    n = max(2000, int(200000 * scale))
+    cc = _config(machine=PAPER_MACHINE)
+    cases = {
+        "app": (cc, build_program("em3d", scale=max(0.05, 0.5 * scale))),
+        "miss_stream": (cc, _miss_stream_program(max(1000, n // 4))),
+        "migratory": (cc, _migratory_program(max(4000, n // 2))),
+        "page_thrash": (
+            _page_thrash_config(),
+            _page_thrash_program(max(4000, n // 2)),
+        ),
+    }
+    report = {}
+    for name, (config, program) in cases.items():
+        row = {}
+        for label, engine_cls in (
+            ("runahead", SimulationEngine),
+            ("specialized", SpecializedEngine),
+        ):
+            engine = engine_cls(config, program)
+            profiler = cProfile.Profile()
+            profiler.enable()
+            engine.run()
+            profiler.disable()
+            stats = pstats.Stats(profiler)
+            total = stats.total_tt
+            miss = max(
+                (
+                    ct
+                    for (_fn, _line, func), (_cc, _nc, _tt, ct, _callers)
+                    in stats.stats.items()
+                    if func == "_miss"
+                ),
+                default=0.0,
+            )
+            row[f"{label}_miss_share"] = miss / total if total else 0.0
+        report[name] = row
+    return report
+
+
 def measure_allocations(scale: float = 0.1) -> dict:
     """Per-scenario allocation footprint of the columnar engine.
 
@@ -484,8 +594,27 @@ def write_bench_json(numbers: dict, path: Path = BENCH_JSON) -> Path:
     return path
 
 
-def main(scale: float = 1.0) -> int:
-    numbers = run_engine_comparison(scale=scale)
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="engine comparison benchmark (writes BENCH_engine.json)"
+    )
+    parser.add_argument(
+        "scale_pos", nargs="?", type=float, default=None,
+        help="legacy positional alias for --scale",
+    )
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also record each engine's _miss share of wall time "
+             "(cProfile) per miss scenario",
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale_pos if args.scale_pos is not None else args.scale
+
+    numbers = run_engine_comparison(scale=scale, repeats=args.repeats)
     assert_engine_win(numbers)
     # Also record the smoke scale: the vector engine's standing vs
     # run-ahead depends on run *length* (short runs amortize less of
@@ -493,6 +622,8 @@ def main(scale: float = 1.0) -> int:
     # scale-0.1 baseline to be compared against.
     smoke = run_engine_comparison(scale=0.1, repeats=2)
     numbers["smoke"] = {"scale": smoke["scale"], "scenarios": smoke["scenarios"]}
+    if args.profile:
+        numbers["profile"] = profile_miss_share(scale=min(scale, 0.25))
     path = write_bench_json(numbers)
     for name, s in numbers["scenarios"].items():
         line = (
@@ -501,12 +632,20 @@ def main(scale: float = 1.0) -> int:
             f"speedup {s['speedup']:.2f}x  heap_ops/ref {s['heap_ops_per_ref']:.4f}  "
             f"mean_run {s['mean_run_length']:.1f}  miss {s['miss_rate'] * 100:.1f}%"
         )
+        line += f"  specialized {s['specialized_vs_runahead']:.2f}x vs run-ahead"
         if "vector_vs_runahead" in s:
             line += (
                 f"  vector {s['vector_refs_per_s'] / 1e3:8.0f}k "
                 f"({s['vector_vs_runahead']:.2f}x vs run-ahead)"
             )
         print(line)
+    if args.profile:
+        for name, row in numbers["profile"].items():
+            print(
+                f"{name:14s} _miss share: runahead "
+                f"{row['runahead_miss_share'] * 100:.0f}%  specialized "
+                f"{row['specialized_miss_share'] * 100:.0f}%"
+            )
     if not numpy_available():
         print("NumPy absent: vector-engine columns skipped")
     print(f"wrote {path}")
@@ -598,4 +737,4 @@ def bench_executor_parallel_sweep(benchmark):
 if __name__ == "__main__":
     import sys
 
-    sys.exit(main(float(sys.argv[1]) if len(sys.argv) > 1 else 1.0))
+    sys.exit(main())

@@ -61,9 +61,11 @@ def main() -> int:
     from benchmarks.bench_engine import (
         BENCH_JSON,
         MISS_SCENARIOS,
+        SPECIALIZED_SCENARIOS,
         VECTOR_SCENARIOS,
         assert_engine_win,
         assert_miss_path_floor,
+        assert_specialized_floor,
         assert_vector_floor,
         measure_allocations,
         numpy_available,
@@ -109,6 +111,24 @@ def main() -> int:
         )
     else:
         print("vector skip   NumPy absent — vector-backend floor not checked")
+
+    # Specialized-backend floor: the partially evaluated miss path's
+    # standing vs run-ahead (geomean over the four acceptance
+    # scenarios) must not regress >10% vs the recorded JSON.  Runs in
+    # both CI legs — the backend has no optional dependencies.
+    geomean = assert_specialized_floor(numbers, recorded.get("smoke", recorded))
+    for name in SPECIALIZED_SCENARIOS:
+        s = numbers["scenarios"][name]
+        print(
+            f"specialized ok {name:13s} "
+            f"{s['specialized_refs_per_s'] / 1e3:6.0f}k refs/s "
+            f"({s['specialized_vs_runahead']:.2f}x vs run-ahead)"
+        )
+    if geomean:
+        print(
+            f"specialized ok geomean {geomean:.2f}x vs run-ahead "
+            "(gate: no >10% regression)"
+        )
 
     # Allocation footprint of the allocation-free miss path.
     for name, a in measure_allocations(scale=0.1).items():

@@ -339,12 +339,14 @@ def _cmd_directories() -> None:
 
 
 def _cmd_engines() -> None:
-    print(f"{'engine':<10} {'available':<10} {'requires':<24} summary")
+    print(f"{'engine':<12} {'requires':<24} {'summary':<50} available")
     for row in engine_backends():
-        available = "yes" if row["available"] else "no"
+        available = (
+            "yes" if row["available"] else f"unavailable — {row['reason']}"
+        )
         print(
-            f"{row['name']:<10} {available:<10} {row['requires']:<24} "
-            f"{row['summary']}"
+            f"{row['name']:<12} {row['requires']:<24} "
+            f"{row['summary']:<50} {available}"
         )
 
 

@@ -307,9 +307,11 @@ class SystemConfig:
     - ``"runahead"`` — the drain-loop scheduler, the production default;
     - ``"reference"`` — the frozen classic loop, the differential oracle;
     - ``"vector"``    — the NumPy batch-vectorized epoch engine
-      (requires the optional ``[vector]`` extra).
+      (requires the optional ``[vector]`` extra);
+    - ``"specialized"`` — run-ahead's scheduler with a miss path
+      partially evaluated (generated and compiled) per configuration.
 
-    All three are bit-identical by contract (the differential property
+    All four are bit-identical by contract (the differential property
     suites pin it), so the choice affects wall time only; it still
     participates in the result-store identity because stored timings
     must be attributable to the backend that produced them.  The
@@ -339,7 +341,7 @@ class SystemConfig:
     engine: str = "default"
 
     _PROTOCOLS = ("ccnuma", "scoma", "rnuma", "ideal")
-    _ENGINES = ("runahead", "reference", "vector")
+    _ENGINES = ("runahead", "reference", "vector", "specialized")
     # Mirrors repro.interconnect.topology.TOPOLOGIES (params cannot
     # import it without a package-init cycle); tests/test_topology.py
     # asserts the two stay in sync.

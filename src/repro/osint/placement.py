@@ -22,6 +22,23 @@ from repro.common.params import MachineParams
 from repro.common.records import ADDR_SHIFT, as_columns
 
 
+def resolve_home(homes: Dict[int, int], page: int, node_id: int) -> int:
+    """Home node of ``page``, first-touching it at ``node_id`` if absent.
+
+    The shared late-first-touch fallback of every engine's miss
+    preamble: a page missing from the (possibly user-supplied, possibly
+    partial) placement map is adopted by the first node to fault on it,
+    and the map is updated so all later misses — and a reset() replay —
+    see the same home.  Called only on unmapped-page faults (once per
+    page per node), so it stays off the per-miss hot path.
+    """
+    home = homes.get(page)
+    if home is None:
+        home = node_id
+        homes[page] = home
+    return home
+
+
 def round_robin_homes(
     traces: Sequence[Sequence[object]],
     machine: MachineParams,

@@ -13,10 +13,47 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.caches.finegrain import BLOCK_READONLY, BLOCK_WRITABLE
-from repro.coherence.states import EXCLUSIVE, INVALID, MODIFIED, OWNED
+from repro.coherence.states import EXCLUSIVE, INVALID, OWNED
 from repro.common.errors import ProtocolError
 from repro.machine.machine import Machine
 from repro.machine.node import Node
+
+try:  # Optional acceleration only; every path below has a pure fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+    _np = None
+
+
+def _page_hits(blocks_arr, num_sets: int, mask: int, base: int, bpp: int):
+    """(set index, block) pairs of a page's blocks resident in a
+    direct-mapped tag column.
+
+    ``blocks_arr`` is the cache's ``block_at`` column, ``base`` the
+    page's first block number, ``bpp`` the (power-of-two) blocks per
+    page.  With more sets than page blocks the candidate sets form one
+    contiguous, alignment-guaranteed segment ``[base & mask, +bpp)``
+    where set ``s0+i`` can only hold block ``base+i`` — scanned with a
+    single vector compare when NumPy is present.  With fewer sets the
+    whole column is scanned instead (it is the shorter side).
+    """
+    if num_sets <= bpp:
+        shift = bpp.bit_length() - 1
+        page = base >> shift
+        return [
+            (idx, b)
+            for idx, b in enumerate(blocks_arr)
+            if b >= 0 and (b >> shift) == page
+        ]
+    s0 = base & mask
+    if _np is not None and bpp >= 16:
+        seg = _np.frombuffer(blocks_arr, dtype=_np.int64, count=bpp, offset=s0 * 8)
+        offs = _np.nonzero(seg == _np.arange(base, base + bpp, dtype=_np.int64))[0]
+        return [(s0 + off, base + off) for off in offs.tolist()]
+    return [
+        (s0 + i, base + i)
+        for i, b in enumerate(blocks_arr[s0 : s0 + bpp])
+        if b == base + i
+    ]
 
 
 def map_cc_page(machine: Machine, node: Node, page: int) -> int:
@@ -43,11 +80,17 @@ def replace_scoma_page(machine: Machine, node: Node, victim: int) -> int:
     space = machine.config.space
     offsets = node.tags.valid_offsets(victim)
     page_base_block = victim << (space.page_shift - space.block_shift)
+    flush = machine.directory.flush
+    node_id = node.node_id
+    l1_arrays = node.l1_arrays
     for off in offsets:
         block = page_base_block + off
-        machine.directory.flush(block, node.node_id)
-        for l1 in node.l1s:
-            l1.invalidate(block)
+        flush(block, node_id)
+        for lmask, lblocks, lstates in l1_arrays:
+            idx = block & lmask
+            if lblocks[idx] == block:
+                lblocks[idx] = -1
+                lstates[idx] = INVALID
     for tlb in node.tlbs:
         tlb.shoot_down(victim)
     node.stats.tlb_shootdowns += 1
@@ -91,21 +134,32 @@ def _collect_held_blocks(node: Node, page: int, space) -> List[Tuple[int, bool, 
     with L1-only copies (read-only blocks may live in L1s without a
     block-cache frame, per the relaxed-inclusion policy).
     """
+    base = page << (space.page_shift - space.block_shift)
+    bpp = space.blocks_per_page
     held = {}
-    for block in space.blocks_in_page(page):
-        line = node.block_cache.lookup(block)
-        if line is not None:
-            held[block] = [line.writable, line.dirty]
-    for l1 in node.l1s:
-        for block in space.blocks_in_page(page):
-            state = l1.state_of(block)
-            if state == INVALID:
-                continue
-            writable = state in (MODIFIED, EXCLUSIVE, OWNED)
-            dirty = state in (MODIFIED, OWNED)
-            if block in held:
-                held[block][0] = held[block][0] or writable
-                held[block][1] = held[block][1] or dirty
+    bc = node.block_cache
+    bcb = getattr(bc, "block_at", None)
+    if bcb is not None and not bc.is_infinite and bc.num_blocks:
+        bcw, bcd = bc.writable_at, bc.dirty_at
+        for idx, block in _page_hits(bcb, bc.num_blocks, bc.mask, base, bpp):
+            held[block] = [bcw[idx] != 0, bcd[idx] != 0]
+    else:
+        # Infinite, absent, or a legacy (frozen-reference) cache without
+        # the packed columns: go through the snapshot API.
+        for block in range(base, base + bpp):
+            line = bc.lookup(block)
+            if line is not None:
+                held[block] = [line.writable, line.dirty]
+    # MOESI encoding: writable iff state >= EXCLUSIVE, dirty iff >= OWNED.
+    for lmask, lblocks, lstates in node.l1_arrays:
+        for idx, block in _page_hits(lblocks, lmask + 1, lmask, base, bpp):
+            state = lstates[idx]
+            writable = state >= EXCLUSIVE
+            dirty = state >= OWNED
+            entry = held.get(block)
+            if entry is not None:
+                entry[0] = entry[0] or writable
+                entry[1] = entry[1] or dirty
             else:
                 held[block] = [writable, dirty]
     return [(b, w, d) for b, (w, d) in held.items()]
@@ -149,20 +203,29 @@ def relocate_page_to_scoma(machine: Machine, node: Node, page: int) -> int:
     node.xlat.install(page)
     node.page_table.map_scoma(page)
 
+    off_mask = space.blocks_per_page - 1
+    tag_row = node.tags.rows[page]
+    dirty_row = node.tags._dirty[page]
+    bc = node.block_cache
+    bc_invalidate = getattr(bc, "invalidate_probe", None) or bc.invalidate
+    l1_arrays = node.l1_arrays
     for block, writable, dirty in held:
-        off = space.block_offset_in_page(block)
+        off = block & off_mask
         if move_locally:
-            node.tags.set(page, off, BLOCK_WRITABLE if writable else BLOCK_READONLY)
+            tag_row[off] = BLOCK_WRITABLE if writable else BLOCK_READONLY
             if dirty:
-                node.tags.mark_dirty(page, off)
+                dirty_row[off] = 1
         else:
             # Flush home: the node relinquishes the block entirely and
             # will refetch it on demand.
             machine.directory.flush(block, node.node_id)
             node.stats.blocks_flushed += 1
-        node.block_cache.invalidate(block)
-        for l1 in node.l1s:
-            l1.invalidate(block)
+        bc_invalidate(block)
+        for lmask, lblocks, lstates in l1_arrays:
+            idx = block & lmask
+            if lblocks[idx] == block:
+                lblocks[idx] = -1
+                lstates[idx] = INVALID
     for tlb in node.tlbs:
         tlb.shoot_down(page)
         tlb.fill(page)

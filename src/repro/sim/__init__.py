@@ -2,29 +2,33 @@
 model with per-processor clocks, contention, and barrier synchronization,
 and produces a :class:`SimulationResult`.
 
-Three schedulers share one miss path, selected by ``SystemConfig.engine``
-(see :mod:`repro.sim.factory`): the run-ahead engine (:func:`simulate`
-with the default config, the production path), the classic
-one-event-per-reference loop (:func:`simulate_reference`, the
-differential-testing oracle and benchmark baseline), and the
+Four schedulers share one miss-path contract, selected by
+``SystemConfig.engine`` (see :mod:`repro.sim.factory`): the run-ahead
+engine (:func:`simulate` with the default config, the production path),
+the classic one-event-per-reference loop (:func:`simulate_reference`,
+the differential-testing oracle and benchmark baseline), the
 batch-vectorized epoch engine (:func:`simulate_vector`, NumPy-backed,
-optional).
+optional), and the per-config partially evaluated miss path
+(:func:`simulate_specialized`, no optional dependencies).
 """
 
 from repro.sim.engine import SimulationEngine, simulate
 from repro.sim.factory import engine_backends, make_engine
 from repro.sim.reference import ReferenceEngine, simulate_reference
 from repro.sim.results import SimulationResult
+from repro.sim.specialized import SpecializedEngine, simulate_specialized
 from repro.sim.vector import VectorEngine, simulate_vector
 
 __all__ = [
     "ReferenceEngine",
     "SimulationEngine",
     "SimulationResult",
+    "SpecializedEngine",
     "VectorEngine",
     "engine_backends",
     "make_engine",
     "simulate",
     "simulate_reference",
+    "simulate_specialized",
     "simulate_vector",
 ]

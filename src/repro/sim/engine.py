@@ -104,7 +104,7 @@ from repro.common.records import (
 )
 from repro.machine.machine import Machine
 from repro.machine.node import Node
-from repro.osint.placement import first_touch_homes
+from repro.osint.placement import first_touch_homes, resolve_home
 from repro.protocols import make_policy
 from repro.sim.results import SimulationResult
 from repro.vm.page_table import MAP_CC, MAP_LOCAL, MAP_SCOMA, MAP_UNMAPPED
@@ -494,12 +494,9 @@ class SimulationEngine:
         lat = 0
 
         if mapping == MAP_UNMAPPED:
-            home = self.homes.get(g)
-            if home is None:
-                # Page absent from the placement map (user-supplied homes):
-                # first-touch it here.
-                home = nid
-                self.homes[g] = home
+            # Page absent from the placement map (user-supplied homes):
+            # first-touch it here, via the shared fallback.
+            home = resolve_home(self.homes, g, nid)
             if home == nid:
                 node.page_table.map_local(g)
                 mapping = MAP_LOCAL

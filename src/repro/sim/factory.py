@@ -1,6 +1,6 @@
 """Engine backend registry and selection.
 
-Three interchangeable schedulers drive the same machine model and miss
+Four interchangeable schedulers drive the same machine model and miss
 path, selected by ``SystemConfig.engine``:
 
 ``runahead``
@@ -15,8 +15,13 @@ path, selected by ``SystemConfig.engine``:
     (:class:`~repro.sim.vector.VectorEngine`).  Requires NumPy
     (``pip install .[vector]``); selecting it without raises
     :class:`~repro.common.errors.EngineUnavailableError`.
+``specialized``
+    The per-config partially evaluated miss path
+    (:class:`~repro.sim.specialized.SpecializedEngine`): run-ahead's
+    scheduler with a ``_miss`` generated, compiled, and cached per
+    configuration.  No optional dependencies.
 
-All three produce bit-identical :class:`SimulationResult`\\ s — the
+All four produce bit-identical :class:`SimulationResult`\\ s — the
 differential property suites pin the contract — so the selection is a
 pure speed/dependency trade-off.
 """
@@ -47,37 +52,65 @@ def _vector(config, traces, homes):
     return VectorEngine(config, traces, homes)
 
 
+def _specialized(config, traces, homes):
+    from repro.sim.specialized import SpecializedEngine
+
+    return SpecializedEngine(config, traces, homes)
+
+
 #: backend name -> constructor taking (config, traces, homes).
 _BUILDERS = {
     "runahead": _runahead,
     "reference": _reference,
     "vector": _vector,
+    "specialized": _specialized,
 }
+
+
+def engine_unavailable_reason(name: str) -> Optional[str]:
+    """Why the named backend cannot run here, or None if it can.
+
+    The same short string travels on
+    :attr:`~repro.common.errors.EngineUnavailableError.reason` when the
+    backend is selected anyway, so the CLI listing and the raised error
+    agree.
+    """
+    if name not in _BUILDERS:
+        return f"unknown engine (expected one of {tuple(_BUILDERS)})"
+    if name == "vector":
+        from repro.sim.vector import numpy_available
+
+        if not numpy_available():
+            return "NumPy not installed (pip install .[vector])"
+    return None
 
 
 def engine_available(name: str) -> bool:
     """Whether the named backend can run in this environment."""
-    if name == "vector":
-        from repro.sim.vector import numpy_available
-
-        return numpy_available()
-    return name in _BUILDERS
+    return name in _BUILDERS and engine_unavailable_reason(name) is None
 
 
 def engine_backends() -> List[Dict[str, str]]:
-    """Rows describing every backend, for the CLI ``engines`` listing."""
+    """Rows describing every backend, for the CLI ``engines`` listing.
+
+    ``reason`` is None for an available backend, else the short cause
+    (e.g. ``"NumPy not installed (pip install .[vector])"``).
+    """
     rows = []
     for name, summary, requires in (
         ("runahead", "drain-loop scheduler (production default)", "-"),
         ("reference", "classic per-reference loop (differential oracle)", "-"),
         ("vector", "batch-vectorized epoch engine", "numpy ([vector] extra)"),
+        ("specialized", "per-config partially evaluated miss path", "-"),
     ):
+        reason = engine_unavailable_reason(name)
         rows.append(
             {
                 "name": name,
                 "summary": summary,
                 "requires": requires,
-                "available": engine_available(name),
+                "available": reason is None,
+                "reason": reason,
             }
         )
     return rows
@@ -98,7 +131,8 @@ def make_engine(
     if builder is None:  # defensive: SystemConfig validates the name
         raise EngineUnavailableError(
             f"unknown engine {config.engine!r}; "
-            f"expected one of {tuple(_BUILDERS)}"
+            f"expected one of {tuple(_BUILDERS)}",
+            reason=engine_unavailable_reason(config.engine),
         )
     return builder(config, traces, homes)
 

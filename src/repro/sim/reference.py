@@ -35,6 +35,7 @@ from repro.common.errors import TraceError
 from repro.common.params import SystemConfig
 from repro.common.records import ADDR_SHIFT, THINK_MASK
 from repro.machine.node import Node
+from repro.osint.placement import resolve_home
 from repro.sim.engine import SimulationEngine
 from repro.sim.legacy import (
     LegacyBlockCache,
@@ -193,10 +194,7 @@ class ReferenceEngine(SimulationEngine):
         lat = 0
 
         if mapping == MAP_UNMAPPED:
-            home = self.homes.get(g)
-            if home is None:
-                home = node.node_id
-                self.homes[g] = home
+            home = resolve_home(self.homes, g, node.node_id)
             if home == node.node_id:
                 node.page_table.map_local(g)
                 mapping = MAP_LOCAL

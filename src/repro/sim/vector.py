@@ -120,7 +120,8 @@ def epoch_index(column) -> tuple:
     """
     if _np is None:  # pragma: no cover - exercised via the no-NumPy CI leg
         raise EngineUnavailableError(
-            "epoch indexing requires NumPy (pip install .[vector])"
+            "epoch indexing requires NumPy (pip install .[vector])",
+            reason="NumPy not installed (pip install .[vector])",
         )
     words = _np.frombuffer(column, dtype=_np.int64)
     accesses = words >= 0
@@ -150,7 +151,8 @@ class VectorEngine(SimulationEngine):
         if _np is None:
             raise EngineUnavailableError(
                 "engine 'vector' requires NumPy (pip install .[vector]); "
-                "fall back to engine='runahead'"
+                "fall back to engine='runahead'",
+                reason="NumPy not installed (pip install .[vector])",
             )
         super().__init__(config, traces, homes)
 

@@ -72,6 +72,8 @@ class TestProcessDefault:
 
 class TestFactory:
     def test_builds_each_backend(self):
+        from repro.sim.specialized import SpecializedEngine
+
         traces = [[], []]
         cfg = tiny_config("ccnuma")
         assert type(factory.make_engine(cfg, traces)) is SimulationEngine
@@ -79,13 +81,35 @@ class TestFactory:
             factory.make_engine(cfg.with_engine("reference"), traces),
             ReferenceEngine,
         )
+        assert isinstance(
+            factory.make_engine(cfg.with_engine("specialized"), traces),
+            SpecializedEngine,
+        )
 
     def test_backend_listing_shape(self):
         rows = factory.engine_backends()
-        assert [r["name"] for r in rows] == ["runahead", "reference", "vector"]
+        assert [r["name"] for r in rows] == [
+            "runahead",
+            "reference",
+            "vector",
+            "specialized",
+        ]
         for row in rows:
-            assert set(row) == {"name", "summary", "requires", "available"}
-        assert all(r["available"] for r in rows[:2])
+            assert set(row) == {
+                "name",
+                "summary",
+                "requires",
+                "available",
+                "reason",
+            }
+            # The listing's reason and the availability flag must agree.
+            assert row["available"] == (row["reason"] is None)
+        assert rows[0]["available"] and rows[1]["available"] and rows[3]["available"]
+
+    def test_unavailable_reason_strings(self):
+        assert factory.engine_unavailable_reason("runahead") is None
+        assert factory.engine_unavailable_reason("specialized") is None
+        assert "unknown engine" in factory.engine_unavailable_reason("warp")
 
     def test_vector_without_numpy_raises_cleanly(self, monkeypatch):
         """Simulate the missing optional dependency: construction fails
@@ -93,10 +117,17 @@ class TestFactory:
         monkeypatch.setattr(vector_mod, "_np", None)
         assert not vector_mod.numpy_available()
         assert not factory.engine_available("vector")
-        with pytest.raises(EngineUnavailableError, match=r"pip install \.\[vector\]"):
+        expected_reason = "NumPy not installed (pip install .[vector])"
+        assert factory.engine_unavailable_reason("vector") == expected_reason
+        with pytest.raises(EngineUnavailableError, match=r"pip install \.\[vector\]") as exc:
             factory.make_engine(tiny_config("ccnuma", engine="vector"), [[], []])
+        # The error carries the same short reason the listing shows.
+        assert exc.value.reason == expected_reason
         with pytest.raises(EngineUnavailableError):
             vector_mod.epoch_index(b"")
+        rows = {r["name"]: r for r in factory.engine_backends()}
+        assert rows["vector"]["reason"] == expected_reason
+        assert not rows["vector"]["available"]
 
     def test_runahead_and_reference_survive_missing_numpy(self, monkeypatch):
         monkeypatch.setattr(vector_mod, "_np", None)
@@ -106,13 +137,34 @@ class TestFactory:
         b = factory.simulate_with(cfg.with_engine("reference"), traces)
         assert a.exec_cycles == b.exec_cycles == 0
 
+    def test_specialized_survives_missing_numpy(self, monkeypatch):
+        """The specialized backend must not require NumPy — the no-NumPy
+        CI leg runs its differential subset.  Patch out both optional
+        import sites and check a real (non-empty) run still matches."""
+        from repro.common.records import Access
+        from repro.osint import services as services_mod
+
+        monkeypatch.setattr(vector_mod, "_np", None)
+        monkeypatch.setattr(services_mod, "_np", None)
+        assert factory.engine_available("specialized")
+        traces = [
+            [Access(0, False, 1), Access(64, True, 0)],
+            [Access(512, True, 2), Access(0, True, 0)],
+        ]
+        cfg = tiny_config("rnuma")
+        fast = factory.simulate_with(
+            cfg.with_engine("specialized"), [list(t) for t in traces]
+        )
+        slow = factory.simulate_with(cfg, [list(t) for t in traces])
+        assert fast.exec_cycles == slow.exec_cycles
+
 
 class TestSimulateDispatch:
     def test_simulate_routes_by_config_engine(self):
         from repro.sim.engine import simulate
 
         traces = [[], []]
-        for name in ("runahead", "reference"):
+        for name in ("runahead", "reference", "specialized"):
             result = simulate(tiny_config("ccnuma", engine=name), traces)
             assert result.exec_cycles == 0
 

@@ -1,9 +1,11 @@
 """Unit tests for first-touch page placement."""
 
+import pytest
+
 from repro.common.addressing import AddressSpace
 from repro.common.params import MachineParams
 from repro.common.records import Access, Barrier
-from repro.osint.placement import first_touch_homes
+from repro.osint.placement import first_touch_homes, resolve_home
 
 SPACE = AddressSpace(block_size=64, page_size=512)
 MACHINE = MachineParams(nodes=2, cpus_per_node=1)
@@ -63,3 +65,81 @@ def test_all_pages_assigned():
     homes = first_touch_homes(traces, MACHINE, SPACE)
     assert len(homes) == 20
     assert set(homes.values()) <= {0, 1}
+
+
+class TestResolveHome:
+    def test_known_page_wins_over_faulting_node(self):
+        homes = {3: 1}
+        assert resolve_home(homes, 3, 0) == 1
+        assert homes == {3: 1}
+
+    def test_unknown_page_is_adopted_and_recorded(self):
+        homes = {}
+        assert resolve_home(homes, 7, 1) == 1
+        assert homes == {7: 1}
+        # A later fault on another node sees the recorded adoption.
+        assert resolve_home(homes, 7, 0) == 1
+
+
+class TestPartialPlacementAcrossEngines:
+    def test_partial_homes_map_identical_on_all_engines(self):
+        """A user-supplied placement covering only some pages: every
+        backend must run the same late-first-touch fallback (the shared
+        resolve_home helper) and land on identical results *and* an
+        identically completed homes map."""
+        pytest.importorskip("numpy")  # for the vector leg below
+        from repro.sim import (
+            make_engine,
+            simulate_reference,
+            simulate_specialized,
+            simulate_vector,
+        )
+        from repro.sim.engine import simulate
+        from tests.conftest import tiny_config
+        from tests.property.test_runahead_differential import (
+            assert_identical_results,
+        )
+
+        # Pages 0..3 touched; only pages 0 and 2 pre-placed (both on the
+        # "wrong" node relative to first touch, so the map must win).
+        traces = [
+            [Access(0, True), Access(512, False), Access(1024, True)],
+            [Access(1536, True), Access(0, False), Access(1024, False)],
+        ]
+        partial = {0: 1, 2: 1}
+        for protocol in ("ccnuma", "scoma", "rnuma", "ideal"):
+            config = tiny_config(protocol)
+            results = []
+            completed = []
+            for run in (
+                simulate,
+                simulate_reference,
+                simulate_vector,
+                simulate_specialized,
+            ):
+                homes = dict(partial)
+                results.append(run(config, [list(t) for t in traces], homes))
+                completed.append(homes)
+            for other in results[1:]:
+                assert_identical_results(results[0], other)
+            # The fallback completed the map the same way everywhere,
+            # honoring the partial entries.
+            assert all(c == completed[0] for c in completed[1:])
+            assert completed[0][0] == 1 and completed[0][2] == 1
+            assert set(completed[0]) == {0, 1, 2, 3}
+
+    def test_engine_instances_share_the_caller_map(self):
+        """make_engine must keep the caller's dict as the live homes map
+        (first-touch adoptions visible to the caller), for every backend."""
+        from repro.sim import make_engine
+        from tests.conftest import tiny_config
+
+        for name in ("runahead", "reference", "specialized"):
+            homes = {}
+            engine = make_engine(
+                tiny_config("ccnuma", engine=name),
+                [[Access(0, True)], []],
+                homes,
+            )
+            engine.run()
+            assert homes == {0: 0}, name
