@@ -92,7 +92,14 @@ def _drive(directory: Directory, stream) -> Tuple[int, float]:
 def run_directory_comparison(
     node_counts=NODE_COUNTS, repeats: int = 3
 ) -> dict:
-    numbers: dict = {"blocks": BLOCKS, "share_fraction": SHARE_FRACTION, "sizes": {}}
+    from repro.obs.provenance import provenance_block
+
+    numbers: dict = {
+        "blocks": BLOCKS,
+        "share_fraction": SHARE_FRACTION,
+        "provenance": provenance_block(),
+        "sizes": {},
+    }
     for nodes in node_counts:
         stream = _sharer_heavy_stream(nodes)
         per_rep = {}

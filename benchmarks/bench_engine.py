@@ -66,7 +66,6 @@ stream, miss stream, legacy object-trace input, executor fan-out).
 from __future__ import annotations
 
 import json
-import platform
 import time
 from pathlib import Path
 
@@ -340,23 +339,14 @@ def run_engine_comparison(scale: float = 1.0, repeats: int = 3) -> dict:
 
 
 def _provenance() -> dict:
-    """Where the numbers came from: interpreter, optional NumPy, and
-    the host shape — enough to judge whether two JSONs are comparable."""
-    if numpy_available():
-        import numpy
+    """Where the numbers came from: git commit, UTC timestamp,
+    interpreter, optional NumPy, and the host shape — enough to
+    attribute any recorded number and judge whether two JSONs are
+    comparable.  Shared with ``bench_directory``/``bench_network`` and
+    the executor's run manifests via :mod:`repro.obs.provenance`."""
+    from repro.obs.provenance import provenance_block
 
-        numpy_version = numpy.__version__
-    else:
-        numpy_version = "absent"
-    import os
-
-    return {
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "numpy": numpy_version,
-        "platform": platform.platform(),
-        "host_cpus": os.cpu_count(),
-    }
+    return provenance_block()
 
 
 def assert_engine_win(
@@ -497,6 +487,89 @@ def assert_specialized_floor(
     return measured
 
 
+def run_obs_overhead(scale: float = 0.1, repeats: int = 9) -> dict:
+    """Cost of the *disabled* instrumentation layer on the miss path.
+
+    For each miss-dominated scenario, interleaves best-of-N timings of
+    two ways to run the identical simulation: constructing the
+    run-ahead engine directly (the pre-obs code path, byte for byte)
+    and going through :func:`repro.sim.engine.simulate` with the
+    default disabled :class:`~repro.common.params.ObsParams` (the path
+    every caller actually takes).  The pairing makes the comparison
+    host-insensitive: both halves run in the same process, interleaved,
+    on the same warm program.  ``relative`` is direct-time /
+    dispatch-time — 1.0 means the obs-aware dispatch is free, below 1.0
+    means it taxed the run.
+    """
+    n = max(2000, int(200000 * scale))
+    cc = _config(machine=PAPER_MACHINE)
+    cases = {
+        "miss_stream": (cc, _miss_stream_program(max(1000, n // 4))),
+        "migratory": (cc, _migratory_program(max(4000, n // 2))),
+        "page_thrash": (
+            _page_thrash_config(),
+            _page_thrash_program(max(4000, n // 2)),
+        ),
+    }
+    def _time_direct(config, program):
+        # Construction inside the clock: simulate() necessarily builds
+        # the engine too, so both halves time construct + run.
+        t0 = time.perf_counter()
+        SimulationEngine(config, program).run()
+        return time.perf_counter() - t0
+
+    def _time_dispatch(config, program):
+        t0 = time.perf_counter()
+        simulate(config, program)
+        return time.perf_counter() - t0
+
+    report = {}
+    for name, (config, program) in cases.items():
+        assert not config.obs.enabled
+        _time_direct(config, program)  # warm the program/page maps
+        direct_best = dispatch_best = None
+        for i in range(repeats):
+            # Alternate which half goes first so cache/allocator state
+            # drift cannot systematically favor one side.
+            halves = (_time_direct, _time_dispatch)
+            if i % 2:
+                halves = tuple(reversed(halves))
+            for half in halves:
+                dt = half(config, program)
+                if half is _time_direct:
+                    direct_best = dt if direct_best is None else min(direct_best, dt)
+                else:
+                    dispatch_best = dt if dispatch_best is None else min(dispatch_best, dt)
+        report[name] = {
+            "direct_s": direct_best,
+            "dispatch_s": dispatch_best,
+            "relative": direct_best / dispatch_best,
+        }
+    return report
+
+
+def assert_obs_off_floor(numbers: dict, tolerance: float = 0.02) -> float:
+    """CI gate: instrumentation must cost ≤ ``tolerance`` when disabled.
+
+    Geomean of the paired ``relative`` ratios from
+    :func:`run_obs_overhead` over the miss scenarios must stay within
+    ``tolerance`` of parity — per-scenario jitter on a loaded box runs
+    both directions, the geomean isolates a systematic tax.  Returns
+    the measured geomean.
+    """
+    geomean = 1.0
+    for name in MISS_SCENARIOS:
+        geomean *= numbers[name]["relative"]
+    geomean **= 1 / len(MISS_SCENARIOS)
+    floor = 1.0 - tolerance
+    assert geomean >= floor, (
+        f"disabled instrumentation taxes the miss path: paired "
+        f"throughput ratio {geomean:.3f} < {floor:.3f} "
+        f"(tolerance {tolerance:.0%})"
+    )
+    return geomean
+
+
 def profile_miss_share(scale: float = 0.25) -> dict:
     """Per-scenario ``_miss`` share of run wall time, under cProfile.
 
@@ -622,6 +695,12 @@ def main(argv=None) -> int:
     # scale-0.1 baseline to be compared against.
     smoke = run_engine_comparison(scale=0.1, repeats=2)
     numbers["smoke"] = {"scale": smoke["scale"], "scenarios": smoke["scenarios"]}
+    # Record the disabled-instrumentation cost alongside (and gate it:
+    # a BENCH refresh must not land a tax on the plain hot path).
+    # More repeats than the engine comparison: the 2% tolerance needs
+    # tight best-of-N minima on both halves of each pair.
+    numbers["obs_overhead"] = run_obs_overhead(scale=0.1, repeats=9)
+    assert_obs_off_floor(numbers["obs_overhead"])
     if args.profile:
         numbers["profile"] = profile_miss_share(scale=min(scale, 0.25))
     path = write_bench_json(numbers)

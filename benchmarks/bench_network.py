@@ -103,10 +103,13 @@ def run_network_comparison(scale: float = 0.5, repeats: int = 3) -> dict:
             "engine_slowdown": dt / uniform_dt,
             "cycle_inflation": result.exec_cycles / uniform_result.exec_cycles,
         }
+    from repro.obs.provenance import provenance_block
+
     return {
         "bench": "network",
         "scale": scale,
         "net_nodes": NET_NODES,
+        "provenance": provenance_block(),
         "topologies": topologies,
     }
 

@@ -130,6 +130,23 @@ def main() -> int:
             "(gate: no >10% regression)"
         )
 
+    # Disabled-instrumentation floor: with ObsParams off (the default),
+    # dispatching through simulate() must cost <= 2% vs constructing
+    # the engine directly — the zero-cost-when-off contract of
+    # repro.obs, measured as paired in-process A/B so host speed
+    # cancels out.
+    from benchmarks.bench_engine import assert_obs_off_floor, run_obs_overhead
+
+    overhead = run_obs_overhead(scale=0.1)
+    geomean = assert_obs_off_floor(overhead)
+    for name in MISS_SCENARIOS:
+        o = overhead[name]
+        print(
+            f"obs off ok    {name:12s} dispatch {o['dispatch_s'] * 1e3:7.2f}ms "
+            f"vs direct {o['direct_s'] * 1e3:7.2f}ms ({o['relative']:.3f})"
+        )
+    print(f"obs off ok    paired ratio geomean {geomean:.3f} (gate: >= 0.98)")
+
     # Allocation footprint of the allocation-free miss path.
     for name, a in measure_allocations(scale=0.1).items():
         print(

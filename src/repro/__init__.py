@@ -23,6 +23,7 @@ from repro.common.params import (
     CacheParams,
     CostParams,
     MachineParams,
+    ObsParams,
     SystemConfig,
     base_ccnuma_config,
     base_rnuma_config,
@@ -56,6 +57,7 @@ __all__ = [
     "CostParams",
     "MachineParams",
     "ModelParameters",
+    "ObsParams",
     "Program",
     "SimulationEngine",
     "SimulationResult",

@@ -31,7 +31,12 @@ Commands
     cluster-size, topology, and directory extensions) in one sweep,
     fanned out over ``--jobs`` worker processes and backed by the
     persistent result store, so a second invocation does near-zero
-    simulation work.
+    simulation work.  ``--heartbeat`` streams per-job progress,
+    ``--profile`` breaks down where the wall time went, and a run
+    manifest is written next to the stored results.
+``report FILE``
+    Summarize a trace (``run --trace``) or metrics (``run --metrics``)
+    file; ``--validate`` also checks it against the checked-in schema.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from typing import List, Optional
 from repro.common.addressing import AddressSpace
 from repro.common.params import (
     DirectoryParams,
+    ObsParams,
     SystemConfig,
     base_ccnuma_config,
     base_rnuma_config,
@@ -245,6 +251,44 @@ def build_parser() -> argparse.ArgumentParser:
         default="runahead",
         help="engine backend (default: runahead; vector needs NumPy)",
     )
+    run_p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a Chrome-trace-event JSON coherence trace (open in "
+            "Perfetto; with --protocol all, one file per protocol with "
+            "the protocol name suffixed)"
+        ),
+    )
+    run_p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a JSONL counter time-series (suffixed per protocol "
+            "like --trace)"
+        ),
+    )
+    run_p.add_argument(
+        "--trace-categories",
+        nargs="+",
+        choices=ObsParams.TRACE_CATEGORIES,
+        default=None,
+        metavar="CAT",
+        help=(
+            "trace event categories to keep (default: all of "
+            + " ".join(ObsParams.TRACE_CATEGORIES)
+            + ")"
+        ),
+    )
+    run_p.add_argument(
+        "--metrics-interval",
+        type=_positive_int,
+        default=100_000,
+        metavar="CYCLES",
+        help="simulated cycles between metrics samples (default: 100000)",
+    )
 
     sub.add_parser(
         "directories", help="show the directory sharer-set representations"
@@ -298,7 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a per-phase wall-time breakdown at the end of the sweep",
     )
+    rep_p.add_argument(
+        "--heartbeat",
+        action="store_true",
+        help="stream per-job progress to stderr as the sweep runs",
+    )
     _add_executor_args(rep_p)
+
+    report_p = sub.add_parser(
+        "report", help="summarize a trace or metrics file"
+    )
+    report_p.add_argument("file", help="a --trace or --metrics output file")
+    report_p.add_argument(
+        "--validate",
+        action="store_true",
+        help="also validate the file against its checked-in schema",
+    )
 
     return parser
 
@@ -376,6 +435,35 @@ def _run_config_overrides(args: argparse.Namespace, config):
     return config
 
 
+def _suffixed_path(path: str, name: str, multi: bool) -> str:
+    """``trace.json`` -> ``trace.rnuma.json`` when several protocols
+    share one ``--trace``/``--metrics`` flag (each run gets its own
+    file; a single-protocol run keeps the path verbatim)."""
+    if not multi:
+        return path
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}.{name}{p.suffix}" if p.suffix else f"{p.name}.{name}"))
+
+
+def _run_obs_params(args: argparse.Namespace, name: str, multi: bool) -> ObsParams:
+    """The ObsParams one ``run`` protocol leg should carry."""
+    categories = (
+        tuple(args.trace_categories)
+        if args.trace_categories
+        else ObsParams.TRACE_CATEGORIES
+    )
+    return ObsParams(
+        trace_path=(
+            _suffixed_path(args.trace, name, multi) if args.trace else None
+        ),
+        metrics_path=(
+            _suffixed_path(args.metrics, name, multi) if args.metrics else None
+        ),
+        trace_categories=categories,
+        metrics_interval=args.metrics_interval,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     program = build_program(args.app, scale=args.scale)
     fabric = "" if args.topology == "uniform" else f" on {args.topology}"
@@ -384,6 +472,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     names = (
         list(_PROTOCOL_CONFIGS) if args.protocol == "all" else [args.protocol]
     )
+    multi = len(names) > 1
     baseline = None
     for name in names:
         if name == "rnuma":
@@ -391,6 +480,9 @@ def _cmd_run(args: argparse.Namespace) -> None:
         else:
             config = _PROTOCOL_CONFIGS[name]()
         config = _run_config_overrides(args, config)
+        obs = _run_obs_params(args, name, multi)
+        if obs.enabled:
+            config = config.with_obs(obs)
         result = simulate(config, program)
         if baseline is None:
             baseline = result
@@ -398,6 +490,9 @@ def _cmd_run(args: argparse.Namespace) -> None:
               f"({result.normalized_to(baseline):.2f}x)  "
               f"refetches={result.total('refetches'):,} "
               f"relocations={result.total('relocations'):,}")
+        for label, path in (("trace", obs.trace_path), ("metrics", obs.metrics_path)):
+            if path:
+                print(f"         {label} -> {path}", file=sys.stderr)
 
 
 def _cmd_trace_stats(args: argparse.Namespace) -> None:
@@ -454,6 +549,23 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
     print(format_ablation(result))
 
 
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.obs.report import report
+
+    try:
+        summary, errors = report(args.file, check=args.validate)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"repro: cannot report on {args.file}: {exc}")
+    print(summary)
+    if args.validate:
+        if errors:
+            print(f"\nschema violations ({len(errors)}):", file=sys.stderr)
+            for error in errors[:20]:
+                print(f"  {error}", file=sys.stderr)
+            raise SystemExit(1)
+        print("\nschema: valid")
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> None:
     """Full paper sweep: one deduplicated job set, one executor."""
     import time
@@ -466,6 +578,18 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
     set_default_engine(args.engine)
 
     executor = _make_executor(args)
+    if args.heartbeat:
+        start = time.perf_counter()
+
+        def _heartbeat(done: int, total: int, job, source: str) -> None:
+            elapsed = time.perf_counter() - start
+            print(
+                f"  [{done:>4}/{total}] {elapsed:>7.1f}s "
+                f"{job.app:<10} {job.config.protocol:<7} {source}",
+                file=sys.stderr,
+            )
+
+        executor.progress = _heartbeat
     scale, apps = args.scale, args.apps
 
     # Enumerate every figure/table/ablation/extension simulation up
@@ -542,17 +666,44 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
     store_s = executor.store_seconds
     render_s = time.perf_counter() - t0 - (store_s - store_after_simulate)
 
+    manifest = executor.write_manifest(
+        jobs, extra={"command": "reproduce", "scale": scale}
+    )
+    if manifest is not None:
+        print(f"reproduce: manifest -> {manifest}", file=sys.stderr)
+
     if args.profile:
         total = compile_s + simulate_s + store_s + render_s
         print("\nphase breakdown", file=sys.stderr)
         for name, seconds in (
             ("trace compile", compile_s),
             ("simulate", simulate_s),
-            ("store", store_s),
+            ("store read", executor.store_read_seconds),
+            ("store write", executor.store_write_seconds),
             ("render", render_s),
         ):
             share = seconds / total * 100 if total else 0.0
             print(f"  {name:<14} {seconds:>8.2f}s {share:>5.1f}%", file=sys.stderr)
+        simulated = [
+            p for p in executor.job_profiles if p["source"] == "simulated"
+        ]
+        if simulated:
+            slowest = sorted(
+                simulated, key=lambda p: p["simulate_s"], reverse=True
+            )[:5]
+            print(
+                f"\nslowest jobs ({len(simulated)} simulated; "
+                "queue = wait for a worker)",
+                file=sys.stderr,
+            )
+            for p in slowest:
+                print(
+                    f"  {p['app']:<10} {p['protocol']:<7} "
+                    f"sim {p['simulate_s']:>7.2f}s  "
+                    f"queue {p['queue_wait_s']:>6.2f}s  "
+                    f"store {p['store_read_s'] + p['store_write_s']:>6.3f}s",
+                    file=sys.stderr,
+                )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -577,6 +728,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_ablation(args)
     elif args.command == "reproduce":
         _cmd_reproduce(args)
+    elif args.command == "report":
+        _cmd_report(args)
     return 0
 
 

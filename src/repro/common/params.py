@@ -30,7 +30,7 @@ more expensive.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 from repro.common.addressing import AddressSpace
 from repro.common.errors import ConfigurationError
@@ -256,6 +256,71 @@ class MachineParams:
         return cpu // self.cpus_per_node
 
 
+@dataclass(frozen=True)
+class ObsParams:
+    """Observability settings: event tracing and metrics sampling.
+
+    Observability is *not* part of a system's identity: enabling it
+    never changes simulation results (the hooks are observational-only,
+    pinned by ``tests/property/test_obs_differential.py``), so the
+    field is excluded from :func:`repro.experiments.runner.config_key`,
+    from ``SystemConfig`` equality/hashing (``compare=False``), and
+    from :func:`config_to_dict` payloads.  With both paths ``None``
+    (the default) the instrumentation layer is structurally absent: no
+    hook is installed, no obs module is imported, and the engines run
+    the exact same code they run without this class existing — a
+    contract gated by ``benchmarks/bench_engine.assert_obs_off_floor``.
+
+    ``trace_path``
+        Destination for a Chrome-trace-event JSON file (loadable in
+        Perfetto / ``chrome://tracing``; timestamps are simulated
+        cycles).  Tracks are one process per node, one thread per CPU.
+    ``trace_categories``
+        Which event categories to emit (subset of
+        :data:`TRACE_CATEGORIES`): ``"miss"`` — one complete event per
+        L1 miss (dense); ``"coherence"`` — inter-node directory
+        transactions and invalidation fan-out; ``"page"`` — faults,
+        allocations, replacements, relocations; ``"counter"`` —
+        competitive-counter refetch ticks and threshold crossings.
+    ``metrics_path``
+        Destination for a JSONL counter time-series: one ``meta`` line,
+        periodic ``sample`` lines, one ``final`` line (schema:
+        ``repro/obs/schemas/metrics.schema.json``).
+    ``metrics_interval``
+        Simulated-cycle sampling period.  Samples are taken at miss
+        boundaries (the only points where the sampled counters change),
+        so an interval is honored at the first miss at-or-after its
+        deadline.
+    """
+
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+    trace_categories: Tuple[str, ...] = ("miss", "coherence", "page", "counter")
+    metrics_interval: int = 100_000
+
+    TRACE_CATEGORIES = ("miss", "coherence", "page", "counter")
+
+    def __post_init__(self) -> None:
+        # Tolerate (and normalize) a list from keyword construction.
+        if not isinstance(self.trace_categories, tuple):
+            object.__setattr__(
+                self, "trace_categories", tuple(self.trace_categories)
+            )
+        for cat in self.trace_categories:
+            if cat not in self.TRACE_CATEGORIES:
+                raise ConfigurationError(
+                    f"unknown trace category {cat!r}; "
+                    f"expected a subset of {self.TRACE_CATEGORIES}"
+                )
+        if self.metrics_interval <= 0:
+            raise ConfigurationError("metrics_interval must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any instrumentation output is requested."""
+        return self.trace_path is not None or self.metrics_path is not None
+
+
 # Process-wide default engine backend, resolved into any SystemConfig
 # constructed with engine="default".  ``reproduce --engine`` flips this
 # once, up front, so every config the sweep's figure/table modules
@@ -339,6 +404,11 @@ class SystemConfig:
     #: simulation engine backend; "default" resolves at construction to
     #: the process default (normally "runahead").
     engine: str = "default"
+    #: observability settings (event tracing / metrics sampling).
+    #: Excluded from equality, hashing, run keys, and serialized
+    #: payloads: instrumentation never changes what a run computes,
+    #: only what it additionally writes.
+    obs: ObsParams = field(default_factory=ObsParams, compare=False)
 
     _PROTOCOLS = ("ccnuma", "scoma", "rnuma", "ideal")
     _ENGINES = ("runahead", "reference", "vector", "specialized")
@@ -378,6 +448,14 @@ class SystemConfig:
         """A copy of this config running on a different engine backend."""
         return replace(self, engine=engine)
 
+    def with_obs(self, obs: ObsParams) -> "SystemConfig":
+        """A copy of this config with different observability settings.
+
+        Identity-preserving: the copy compares and hashes equal to the
+        original and produces bit-identical results.
+        """
+        return replace(self, obs=obs)
+
     def with_protocol(self, protocol: str, **overrides) -> "SystemConfig":
         """A copy of this config running a different protocol.
 
@@ -411,8 +489,16 @@ def ideal_config() -> SystemConfig:
 
 
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
-    """A JSON-safe plain-dict form of a :class:`SystemConfig`."""
-    return asdict(config)
+    """A JSON-safe plain-dict form of a :class:`SystemConfig`.
+
+    Observability settings are omitted: they are not part of a
+    system's identity (results are bit-identical with or without
+    them), so stored payloads stay byte-identical across traced and
+    untraced runs of the same configuration.
+    """
+    data = asdict(config)
+    data.pop("obs", None)
+    return data
 
 
 def config_from_dict(data: Dict[str, Any]) -> SystemConfig:

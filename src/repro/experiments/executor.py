@@ -33,7 +33,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ReproError
 from repro.common.params import SystemConfig
@@ -115,6 +115,24 @@ def _simulate_payload(payload: Tuple[SystemConfig, object]) -> SimulationResult:
     copy, so the engine may extend its homes map freely."""
     config, program = payload
     return simulate(config, program)
+
+
+def _simulate_payload_timed(
+    payload: Tuple[SystemConfig, object, float]
+) -> Tuple[SimulationResult, float, float]:
+    """Worker body that also reports per-job telemetry:
+    ``(result, simulate_seconds, queue_wait_seconds)``.
+
+    ``queue_wait`` is measured against the submission wall-clock stamp
+    the parent packed into the payload; ``time.time()`` (not
+    ``perf_counter``) because the two readings come from different
+    processes.
+    """
+    config, program, submitted_at = payload
+    queue_wait = max(0.0, time.time() - submitted_at)
+    t0 = time.perf_counter()
+    result = simulate(config, program)
+    return result, time.perf_counter() - t0, queue_wait
 
 
 class ResultStore:
@@ -200,15 +218,32 @@ class Executor:
         workers: int = 1,
         cache: Optional[ResultCache] = None,
         store: Optional[ResultStore] = None,
+        progress: Optional[Callable[[int, int, Job, str], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.cache = cache if cache is not None else ResultCache()
         self.store = store
-        #: Cumulative wall time spent in the on-disk store (load+save),
-        #: so callers can split "simulate" from "store" in a profile.
-        self.store_seconds = 0.0
+        #: Cumulative wall time spent reading / writing the on-disk
+        #: store, split by direction so a profile can tell a cold sweep
+        #: (write-heavy) from a warm replay (read-heavy).
+        self.store_read_seconds = 0.0
+        self.store_write_seconds = 0.0
+        #: One record per job :meth:`run`/:meth:`run_app` resolved:
+        #: ``{app, engine, protocol, source, queue_wait_s, simulate_s,
+        #: store_read_s, store_write_s}`` where ``source`` is
+        #: ``cache`` / ``store`` / ``simulated``.
+        self.job_profiles: List[Dict[str, Any]] = []
+        #: Optional heartbeat, called as ``progress(done, total, job,
+        #: source)`` after every unique job resolves during :meth:`run`.
+        self.progress = progress
+
+    @property
+    def store_seconds(self) -> float:
+        """Total store wall time (read + write), kept for callers that
+        profile at phase granularity."""
+        return self.store_read_seconds + self.store_write_seconds
 
     # -- lookup layers -------------------------------------------------
 
@@ -220,7 +255,7 @@ class Executor:
         if self.store is not None:
             t0 = time.perf_counter()
             result = self.store.load(job)
-            self.store_seconds += time.perf_counter() - t0
+            self.store_read_seconds += time.perf_counter() - t0
             if result is not None:
                 self.cache.put(job.key, result)
         return result
@@ -230,7 +265,29 @@ class Executor:
         if self.store is not None:
             t0 = time.perf_counter()
             self.store.save(job, result)
-            self.store_seconds += time.perf_counter() - t0
+            self.store_write_seconds += time.perf_counter() - t0
+
+    def _profile(
+        self,
+        job: Job,
+        source: str,
+        queue_wait_s: float = 0.0,
+        simulate_s: float = 0.0,
+        store_read_s: float = 0.0,
+        store_write_s: float = 0.0,
+    ) -> None:
+        self.job_profiles.append(
+            {
+                "app": job.app,
+                "engine": job.config.engine,
+                "protocol": job.config.protocol,
+                "source": source,
+                "queue_wait_s": queue_wait_s,
+                "simulate_s": simulate_s,
+                "store_read_s": store_read_s,
+                "store_write_s": store_write_s,
+            }
+        )
 
     # -- execution -----------------------------------------------------
 
@@ -263,36 +320,73 @@ class Executor:
         unique: Dict[Tuple, Job] = {}
         for job in jobs:
             unique.setdefault(job.key, job)
+        total = len(unique)
+        done = 0
 
         resolved: Dict[Tuple, SimulationResult] = {}
         pending: List[Job] = []
         for key, job in unique.items():
+            was_cached = self.cache.get(key) is not None
+            read_before = self.store_read_seconds
             result = self._lookup(job)
             if result is None:
                 pending.append(job)
             else:
                 resolved[key] = result
+                done += 1
+                source = "cache" if was_cached else "store"
+                self._profile(
+                    job, source,
+                    store_read_s=self.store_read_seconds - read_before,
+                )
+                if self.progress is not None:
+                    self.progress(done, total, job, source)
 
-        if pending:
-            for job, result in zip(pending, self._simulate_all(pending)):
-                self._insert(job, result)
-                resolved[job.key] = result
+        if not pending:
+            return [resolved[job.key] for job in jobs]
+
+        for job, (result, simulate_s, queue_wait_s) in zip(
+            pending, self._simulate_all(pending)
+        ):
+            write_before = self.store_write_seconds
+            self._insert(job, result)
+            resolved[job.key] = result
+            done += 1
+            self._profile(
+                job, "simulated",
+                queue_wait_s=queue_wait_s,
+                simulate_s=simulate_s,
+                store_write_s=self.store_write_seconds - write_before,
+            )
+            if self.progress is not None:
+                self.progress(done, total, job, "simulated")
 
         return [resolved[job.key] for job in jobs]
 
-    def _simulate_all(self, pending: Sequence[Job]) -> List[SimulationResult]:
+    def _simulate_all(
+        self, pending: Sequence[Job]
+    ) -> Iterator[Tuple[SimulationResult, float, float]]:
+        """Yield ``(result, simulate_s, queue_wait_s)`` per pending job,
+        in input order, as each completes — so :meth:`run` can store
+        results and fire the progress heartbeat while later jobs are
+        still simulating."""
         if self.workers == 1 or len(pending) == 1:
-            return [_simulate_job(job) for job in pending]
+            for job in pending:
+                t0 = time.perf_counter()
+                result = _simulate_job(job)
+                yield result, time.perf_counter() - t0, 0.0
+            return
         # Generate each distinct program once in the parent (the registry
         # cache collapses the protocol fan-out) and ship workers the
         # compact columnar buffers plus the shared first-touch map.
         # Tradeoff: generation is a serial prefix here, but it runs once
         # per app instead of once per (app, protocol) in every worker,
         # and the parent's warm cache serves all later compute passes.
-        payloads = [_job_payload(job) for job in pending]
+        payloads = [_job_payload(job) + (time.time(),) for job in pending]
         with multiprocessing.Pool(processes=min(self.workers, len(pending))) as pool:
-            # map() preserves input order -> deterministic results.
-            return pool.map(_simulate_payload, payloads, chunksize=1)
+            # imap() preserves input order -> deterministic results,
+            # while handing each result back as soon as its turn is done.
+            yield from pool.imap(_simulate_payload_timed, payloads, chunksize=1)
 
     def run_app(
         self, app: str, config: SystemConfig, scale: float = 1.0
@@ -305,9 +399,59 @@ class Executor:
         job = Job(app=app, config=config, scale=scale)
         result = self._lookup(job)
         if result is None:
+            t0 = time.perf_counter()
             result = _simulate_job(job)
+            simulate_s = time.perf_counter() - t0
+            write_before = self.store_write_seconds
             self._insert(job, result)
+            self._profile(
+                job, "simulated",
+                simulate_s=simulate_s,
+                store_write_s=self.store_write_seconds - write_before,
+            )
         return result
+
+    def write_manifest(
+        self, jobs: Sequence[Job], extra: Optional[Dict[str, Any]] = None
+    ) -> Optional[Path]:
+        """Write ``run_manifest.json`` next to the store's results.
+
+        Records what this sweep was (job/app/engine/protocol sets),
+        where it ran (provenance: git describe, host, interpreter), and
+        how (workers, store schema version) — so a directory of result
+        files is attributable long after the shell history is gone.
+        Returns the manifest path, or None when there is no store.
+        """
+        if self.store is None:
+            return None
+        from repro.obs.provenance import provenance_block
+
+        manifest: Dict[str, Any] = {
+            "schema_version": self.store.schema_version,
+            "provenance": provenance_block(),
+            "workers": self.workers,
+            "jobs": len(jobs),
+            "unique_jobs": len({job.key for job in jobs}),
+            "apps": sorted({job.app for job in jobs}),
+            "engines": sorted({job.config.engine for job in jobs}),
+            "protocols": sorted({job.config.protocol for job in jobs}),
+            "scales": sorted({job.scale for job in jobs}),
+        }
+        if extra:
+            manifest.update(extra)
+        path = self.store.root / "run_manifest.json"
+        fd, tmp = tempfile.mkstemp(dir=self.store.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
 
 
 def ensure_executor(

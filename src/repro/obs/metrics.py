@@ -1,0 +1,61 @@
+"""JSONL counter time-series writer.
+
+One JSON object per line, three record types in order:
+
+* one ``meta`` line — run identity (config summary, engine, categories,
+  sampling interval, provenance) so a metrics file is self-describing;
+* zero or more ``sample`` lines — periodic snapshots keyed by simulated
+  time ``ts``: per-node live ``NodeStats`` counters, network/link
+  utilization, and the per-page refetch-counter distribution;
+* one ``final`` line — the same shape as a sample, taken after the run
+  loop settles, plus the run's end time.
+
+Samples are cumulative counters (not deltas): plotting a trajectory is
+``diff()`` over lines, and the last sample always lower-bounds the
+``final`` line.  Sampling is driven from the miss hook, so sample
+spacing is "at least ``interval`` cycles apart at miss boundaries" —
+an all-hit stretch produces no samples (documented caveat: analytic
+counters such as ``l1_hits`` are settled after the run loop and only
+appear in ``final``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, IO
+
+
+class MetricsWriter:
+    """Append-only JSONL metrics stream."""
+
+    def __init__(self, path: str, meta: Dict[str, Any]) -> None:
+        self.path = path
+        self.samples = 0
+        self._closed = False
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] = open(path, "w", encoding="utf-8")
+        self._write({"type": "meta", **meta})
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True))
+        self._fh.write("\n")
+
+    def sample(self, ts: int, body: Dict[str, Any]) -> None:
+        self.samples += 1
+        self._write({"type": "sample", "ts": ts, **body})
+
+    def final(self, ts: int, body: Dict[str, Any]) -> None:
+        self._write({"type": "final", "ts": ts, **body})
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.close()
+
+    def __enter__(self) -> "MetricsWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

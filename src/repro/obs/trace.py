@@ -1,0 +1,170 @@
+"""Streaming Chrome-trace-event writer.
+
+Emits the JSON Object Format of the Trace Event specification —
+``{"traceEvents": [...], ...}`` — which ``chrome://tracing`` and
+Perfetto both load directly.  The mapping onto simulator concepts:
+
+* **pid** = home/requesting *node* id → one process track per node.
+* **tid** = global *cpu* id → one thread lane per CPU within its node.
+* **ts / dur** = *simulated cycles*, not wall time.  A trace viewer
+  labels them "us"; read every time axis as cycles.
+* ``"X"`` complete events are misses (duration = added latency);
+  ``"i"`` instant events are page/counter milestones (relocations,
+  refetches, threshold crossings, faults); ``"M"`` metadata events
+  name the node/cpu tracks.
+
+Events stream to disk as they are produced (constant memory), and the
+file is valid JSON only after :meth:`TraceWriter.close` writes the
+closing bracket — use the writer as a context manager.  Category
+filtering happens here, at the writer: events whose ``cat`` is not in
+the enabled set are dropped before serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, Optional, Sequence
+
+
+class TraceWriter:
+    """Append-only Chrome-trace-event stream with category filtering.
+
+    ``categories`` is the enabled set (from
+    :attr:`~repro.common.params.ObsParams.trace_categories`); events in
+    other categories are counted as dropped but never written.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        categories: Sequence[str],
+        other_data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.path = path
+        self.categories = frozenset(categories)
+        self.event_counts: Dict[str, int] = {}
+        self.dropped = 0
+        self._first = True
+        self._closed = False
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] = open(path, "w", encoding="utf-8")
+        header = {
+            "displayTimeUnit": "ns",
+            "otherData": dict(other_data or {}),
+        }
+        self._fh.write('{"displayTimeUnit": %s,\n' % json.dumps(header["displayTimeUnit"]))
+        self._fh.write('"otherData": %s,\n' % json.dumps(header["otherData"], sort_keys=True))
+        self._fh.write('"traceEvents": [\n')
+
+    # -- raw emission ---------------------------------------------------
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self._first:
+            self._first = False
+        else:
+            self._fh.write(",\n")
+        self._fh.write(json.dumps(event, sort_keys=True))
+
+    def _record(self, cat: str) -> bool:
+        """Count the event; True iff its category is enabled."""
+        if cat not in self.categories:
+            self.dropped += 1
+            return False
+        self.event_counts[cat] = self.event_counts.get(cat, 0) + 1
+        return True
+
+    # -- event kinds ----------------------------------------------------
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        tid: int,
+        ts: int,
+        dur: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """A ``"X"`` complete event: one miss, dur = added latency."""
+        if not self._record(cat):
+            return
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "dur": dur,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        pid: int,
+        tid: int,
+        ts: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """A ``"i"`` instant event (thread scope): a point milestone."""
+        if not self._record(cat):
+            return
+        event: Dict[str, Any] = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def metadata(self, name: str, pid: int, tid: int, args: Dict[str, Any]) -> None:
+        """A ``"M"`` metadata event; names tracks, never filtered."""
+        self._emit(
+            {"name": name, "ph": "M", "pid": pid, "tid": tid, "ts": 0, "args": args}
+        )
+
+    def name_tracks(self, node_cpus: Iterable[tuple]) -> None:
+        """Label each node's process track and each cpu's thread lane.
+
+        ``node_cpus`` yields ``(node_id, cpu_id)`` pairs; each distinct
+        node gets a ``process_name`` and each cpu a ``thread_name``.
+        """
+        seen_nodes = set()
+        for node_id, cpu_id in node_cpus:
+            if node_id not in seen_nodes:
+                seen_nodes.add(node_id)
+                self.metadata(
+                    "process_name", node_id, 0, {"name": "node %d" % node_id}
+                )
+            self.metadata(
+                "thread_name", node_id, cpu_id, {"name": "cpu %d" % cpu_id}
+            )
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.event_counts.values())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.write("\n]}\n")
+        self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

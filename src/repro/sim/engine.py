@@ -132,6 +132,12 @@ class SimulationEngine:
     run-ahead length.
     """
 
+    #: Calling convention of ``_miss``, for :mod:`repro.obs.attach`:
+    #: ``"columnar"`` is the 5-argument ``(cpu, b, w, st, now) -> lat``
+    #: form.  Engines that bind a same-signature closure as an instance
+    #: attribute (the specialized backend) inherit this declaration.
+    _MISS_HOOK = "columnar"
+
     def __init__(
         self,
         config: SystemConfig,
@@ -1100,7 +1106,7 @@ def simulate(
     hop on the common path); anything else dispatches through
     :func:`repro.sim.factory.make_engine`.
     """
-    if config.engine == "runahead":
+    if config.engine == "runahead" and not config.obs.enabled:
         return SimulationEngine(config, traces, homes).run()
     from repro.sim.factory import simulate_with
 

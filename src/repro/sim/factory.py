@@ -142,5 +142,17 @@ def simulate_with(
     traces: Sequence[Sequence[object]],
     homes: Optional[Dict[int, int]] = None,
 ) -> SimulationResult:
-    """Build the selected engine, run it, and return the result."""
-    return make_engine(config, traces, homes).run()
+    """Build the selected engine, run it, and return the result.
+
+    When ``config.obs`` enables tracing or metrics, the run goes
+    through :func:`repro.obs.attach.observed_run` (imported only then —
+    the obs package stays unloaded for ordinary runs), which attaches
+    the miss-hook instrumentation before the run loop starts.  Results
+    are bit-identical either way.
+    """
+    engine = make_engine(config, traces, homes)
+    if config.obs.enabled:
+        from repro.obs.attach import observed_run
+
+        return observed_run(engine, config.obs)
+    return engine.run()

@@ -51,6 +51,10 @@ from repro.vm.page_table import MAP_CC, MAP_LOCAL, MAP_SCOMA, MAP_UNMAPPED
 class ReferenceEngine(SimulationEngine):
     """One heap pop + push per reference on the pre-columnar structures."""
 
+    #: The classic loop passes the node and L1 objects explicitly:
+    #: ``(cpu, node, l1, b, w, st, now) -> lat`` (see repro.obs.attach).
+    _MISS_HOOK = "legacy"
+
     def __init__(
         self,
         config: SystemConfig,

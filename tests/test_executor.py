@@ -173,6 +173,100 @@ class TestExecutor:
             Executor(workers=0)
 
 
+class TestTelemetry:
+    """The sweep-telemetry surface: per-job profiles, the store I/O
+    split, the progress heartbeat, and the run manifest."""
+
+    def test_job_profiles_record_every_job_with_source(self, tmp_path):
+        exe = Executor(workers=1, cache=ResultCache(), store=ResultStore(tmp_path))
+        job = Job(APP, cc_config(), SCALE)
+        exe.run([job])
+        exe.run([job])  # second pass: in-memory cache hit
+        assert [p["source"] for p in exe.job_profiles] == ["simulated", "cache"]
+        simulated = exe.job_profiles[0]
+        assert simulated["app"] == APP
+        assert simulated["protocol"] == "ccnuma"
+        assert simulated["simulate_s"] > 0
+        assert simulated["queue_wait_s"] >= 0
+        cold = Executor(
+            workers=1, cache=ResultCache(), store=ResultStore(tmp_path)
+        )
+        cold.run([job])
+        assert [p["source"] for p in cold.job_profiles] == ["store"]
+
+    def test_store_io_seconds_split(self, tmp_path):
+        job = Job(APP, cc_config(), SCALE)
+        writer = Executor(
+            workers=1, cache=ResultCache(), store=ResultStore(tmp_path)
+        )
+        writer.run([job])
+        assert writer.store_write_seconds > 0
+        reader = Executor(
+            workers=1, cache=ResultCache(), store=ResultStore(tmp_path)
+        )
+        reader.run([job])
+        assert reader.store_read_seconds > 0
+        assert reader.store_write_seconds == 0  # nothing new to persist
+        # Back-compat aggregate used by the --profile table.
+        assert reader.store_seconds == (
+            reader.store_read_seconds + reader.store_write_seconds
+        )
+
+    def test_progress_callback_fires_in_order(self):
+        seen = []
+        exe = Executor(
+            workers=1,
+            cache=ResultCache(),
+            progress=lambda done, total, job, source: seen.append(
+                (done, total, job.config.protocol, source)
+            ),
+        )
+        jobs = [Job(APP, cc_config(), SCALE), Job(APP, scoma_config(), SCALE)]
+        exe.run(jobs)
+        assert [s[:2] for s in seen] == [(1, 2), (2, 2)]
+        assert [s[2] for s in seen] == ["ccnuma", "scoma"]
+        assert all(s[3] == "simulated" for s in seen)
+
+    def test_parallel_progress_still_bit_identical(self):
+        ticks = []
+        jobs = [
+            Job(APP, cfg, SCALE)
+            for cfg in (ideal(), cc_config(), scoma_config(), rnuma_config())
+        ]
+        serial = Executor(workers=1, cache=ResultCache()).run(jobs)
+        noisy = Executor(
+            workers=2,
+            cache=ResultCache(),
+            progress=lambda *a: ticks.append(a),
+        )
+        parallel = noisy.run(jobs)
+        assert len(ticks) == 4
+        for s, p in zip(serial, parallel):
+            assert_results_equal(s, p)
+
+    def test_write_manifest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        exe = Executor(workers=2, cache=ResultCache(), store=store)
+        jobs = [Job(APP, cc_config(), SCALE), Job(APP, cc_config(), SCALE)]
+        exe.run(jobs)
+        path = exe.write_manifest(jobs, extra={"command": "test-sweep"})
+        assert path is not None and path.name == "run_manifest.json"
+        manifest = json.loads(path.read_text())
+        assert manifest["jobs"] == 2
+        assert manifest["unique_jobs"] == 1
+        assert manifest["apps"] == [APP]
+        assert manifest["protocols"] == ["ccnuma"]
+        assert manifest["workers"] == 2
+        assert manifest["command"] == "test-sweep"
+        prov = manifest["provenance"]
+        assert prov["timestamp_utc"].endswith("Z")
+        assert prov["git_commit"]
+
+    def test_write_manifest_without_store_is_noop(self):
+        exe = Executor(workers=1, cache=ResultCache())
+        assert exe.write_manifest([Job(APP, cc_config(), SCALE)]) is None
+
+
 class TestEnsureExecutor:
     def test_passthrough(self):
         exe = Executor(workers=2)

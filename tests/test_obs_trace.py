@@ -1,0 +1,250 @@
+"""Unit tests for the obs writers and the schema validator subset."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsWriter
+from repro.obs.schema import (
+    load_schema,
+    validate,
+    validate_metrics_file,
+    validate_trace_file,
+)
+from repro.obs.trace import TraceWriter
+
+ALL_CATS = ("miss", "coherence", "page", "counter")
+
+
+# ----------------------------------------------------------------------
+# TraceWriter
+# ----------------------------------------------------------------------
+
+
+def test_trace_writer_emits_valid_json_object(tmp_path):
+    path = tmp_path / "t.trace.json"
+    with TraceWriter(str(path), ALL_CATS, {"engine": "runahead"}) as w:
+        w.name_tracks([(0, 0), (0, 1), (1, 2)])
+        w.complete("remote_fetch", "miss", 0, 0, 100, 42, {"block": 7})
+        w.instant("refetch", "counter", 1, 2, 250, {"page": 3, "counter": 1})
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["engine"] == "runahead"
+    events = doc["traceEvents"]
+    # 2 process_name + 3 thread_name metadata + 1 X + 1 i.
+    assert len(events) == 7
+    x = [e for e in events if e["ph"] == "X"]
+    assert x == [
+        {
+            "name": "remote_fetch",
+            "cat": "miss",
+            "ph": "X",
+            "pid": 0,
+            "tid": 0,
+            "ts": 100,
+            "dur": 42,
+            "args": {"block": 7},
+        }
+    ]
+    assert w.total_events == 2 and w.dropped == 0
+
+
+def test_trace_writer_category_filter_counts_drops(tmp_path):
+    path = tmp_path / "f.trace.json"
+    with TraceWriter(str(path), ("page",), None) as w:
+        w.complete("remote_fetch", "miss", 0, 0, 0, 1)
+        w.instant("page_fault", "page", 0, 0, 5)
+        w.instant("refetch", "counter", 0, 0, 9)
+        w.metadata("process_name", 0, 0, {"name": "node 0"})
+    assert w.dropped == 2
+    assert w.event_counts == {"page": 1}
+    events = json.loads(path.read_text())["traceEvents"]
+    # Metadata is never filtered; the two disabled-category events are.
+    assert {e["ph"] for e in events} == {"i", "M"}
+    assert len(events) == 2
+
+
+def test_trace_writer_empty_and_idempotent_close(tmp_path):
+    path = tmp_path / "empty.trace.json"
+    w = TraceWriter(str(path), ALL_CATS)
+    w.close()
+    w.close()  # second close is a no-op, not an error
+    assert json.loads(path.read_text())["traceEvents"] == []
+
+
+def test_trace_writer_creates_parent_dirs(tmp_path):
+    path = tmp_path / "deep" / "nested" / "t.trace.json"
+    TraceWriter(str(path), ALL_CATS).close()
+    assert path.exists()
+
+
+# ----------------------------------------------------------------------
+# MetricsWriter
+# ----------------------------------------------------------------------
+
+
+def test_metrics_writer_line_protocol(tmp_path):
+    path = tmp_path / "m.jsonl"
+    with MetricsWriter(str(path), {"engine": "runahead", "interval": 10}) as w:
+        w.sample(10, {"nodes": []})
+        w.sample(20, {"nodes": []})
+        w.final(25, {"nodes": [], "exec_cycles": 25})
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["type"] for r in lines] == ["meta", "sample", "sample", "final"]
+    assert lines[0]["engine"] == "runahead"
+    assert [r["ts"] for r in lines[1:]] == [10, 20, 25]
+    assert w.samples == 2
+
+
+# ----------------------------------------------------------------------
+# Schema validator subset
+# ----------------------------------------------------------------------
+
+PERSON = {
+    "type": "object",
+    "required": ["name"],
+    "additionalProperties": False,
+    "properties": {
+        "name": {"type": "string"},
+        "age": {"type": "integer", "minimum": 0},
+        "kind": {"enum": ["human", "robot"]},
+        "tags": {"type": "array", "items": {"type": "string"}},
+    },
+}
+
+
+def test_validate_accepts_conforming_instance():
+    ok = {"name": "ada", "age": 36, "kind": "human", "tags": ["x"]}
+    assert validate(ok, PERSON) == []
+
+
+@pytest.mark.parametrize(
+    "bad, fragment",
+    [
+        ({"age": 1}, "missing required key 'name'"),
+        ({"name": 1}, "expected string"),  # wrong type
+        ({"name": "a", "age": -1}, "minimum"),
+        ({"name": "a", "kind": "alien"}, "not in"),  # enum
+        ({"name": "a", "extra": 1}, "unexpected key"),  # additionalProperties
+        ({"name": "a", "tags": ["x", 2]}, "tags[1]"),  # items
+        ({"name": "a", "age": True}, "expected integer"),  # bool is not int
+    ],
+)
+def test_validate_reports_violations(bad, fragment):
+    errors = validate(bad, PERSON)
+    assert errors, bad
+    assert any(fragment in e for e in errors), errors
+
+
+def test_validate_type_list_and_oneof():
+    schema = {"type": ["integer", "null"]}
+    assert validate(3, schema) == []
+    assert validate(None, schema) == []
+    assert validate("x", schema)
+    either = {"oneOf": [{"type": "string"}, PERSON]}
+    assert validate("plain", either) == []
+    assert validate({"name": "a"}, either) == []
+    assert validate(42, either)
+
+
+def test_validate_rejects_unknown_keywords():
+    """A schema outside the implemented subset must fail loudly, not
+    silently skip the unimplemented constraint."""
+    with pytest.raises(ValueError, match="unsupported keywords"):
+        validate({}, {"type": "object", "patternProperties": {}})
+
+
+def test_checked_in_schemas_load_and_are_in_subset():
+    for name in ("trace_event", "metrics"):
+        schema = load_schema(name)
+        # Validating anything walks the schema and would raise on any
+        # keyword the subset validator does not implement.
+        validate({}, schema)
+
+
+# ----------------------------------------------------------------------
+# File-level validators (stream invariants beyond the schema)
+# ----------------------------------------------------------------------
+
+
+def _write_jsonl(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+def _meta():
+    return {
+        "type": "meta",
+        "engine": "runahead",
+        "interval": 10,
+        "counters": ["remote_fetches"],
+        "config": {},
+        "provenance": {
+            "git_commit": "abc",
+            "git_describe": "abc",
+            "timestamp_utc": "2026-08-08T00:00:00Z",
+            "python": "3.11",
+        },
+    }
+
+
+def _sample(ts):
+    return {
+        "type": "sample",
+        "ts": ts,
+        "nodes": [],
+        "network": {
+            "messages": 0,
+            "round_trips": 0,
+            "one_ways": 0,
+            "ni_busy_cycles": 0,
+            "rad_busy_cycles": 0,
+            "link_busy_cycles": 0,
+            "bus_busy_cycles": 0,
+        },
+        "pages": {"tracked": 0, "counter_hist": {}},
+    }
+
+
+def test_validate_metrics_file_happy_path(tmp_path):
+    path = tmp_path / "ok.jsonl"
+    final = dict(_sample(30), type="final", exec_cycles=30)
+    _write_jsonl(path, [_meta(), _sample(10), _sample(20), final])
+    assert validate_metrics_file(str(path)) == []
+
+
+def test_validate_metrics_file_stream_invariants(tmp_path):
+    final = dict(_sample(30), type="final", exec_cycles=30)
+
+    path = tmp_path / "no-meta.jsonl"
+    _write_jsonl(path, [_sample(10), final])
+    assert any("meta" in e for e in validate_metrics_file(str(path)))
+
+    path = tmp_path / "no-final.jsonl"
+    _write_jsonl(path, [_meta(), _sample(10)])
+    assert any("final" in e for e in validate_metrics_file(str(path)))
+
+    path = tmp_path / "backwards.jsonl"
+    _write_jsonl(path, [_meta(), _sample(20), _sample(10), final])
+    assert any("not after" in e for e in validate_metrics_file(str(path)))
+
+
+def test_validate_trace_file_rejects_bad_category(tmp_path):
+    path = tmp_path / "bad.trace.json"
+    path.write_text(
+        json.dumps(
+            {
+                "traceEvents": [
+                    {
+                        "name": "x",
+                        "cat": "not-a-category",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": 0,
+                        "ts": 0,
+                        "dur": 1,
+                    }
+                ]
+            }
+        )
+    )
+    errors = validate_trace_file(str(path))
+    assert any("not-a-category" in e and "not in" in e for e in errors)
