@@ -33,7 +33,18 @@ Commands
     persistent result store, so a second invocation does near-zero
     simulation work.  ``--heartbeat`` streams per-job progress,
     ``--profile`` breaks down where the wall time went, and a run
-    manifest is written next to the stored results.
+    manifest is written next to the stored results.  The sweep is
+    fault-tolerant: a crashed, hung, or dependency-starved job is
+    retried (``--retries``, ``--job-timeout``, ``--backoff``) and, if
+    it permanently fails, recorded in the manifest while the rest of
+    the sweep completes (``--keep-going``, the default; ``--fail-fast``
+    aborts at the first permanent failure).  A failed sweep exits
+    nonzero with a failure table; ``--resume`` re-runs only the
+    recorded failures.
+``store {verify,gc,stats}``
+    Maintain the persistent result store: ``verify`` fscks every entry
+    (quarantining corrupt ones), ``gc`` removes stale-schema entries
+    and old orphan temp files, ``stats`` summarizes the directory.
 ``report FILE``
     Summarize a trace (``run --trace``) or metrics (``run --metrics``)
     file; ``--validate`` also checks it against the checked-in schema.
@@ -45,12 +56,14 @@ import argparse
 import sys
 from dataclasses import replace
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.common.addressing import AddressSpace
+from repro.common.errors import ConfigurationError
 from repro.common.params import (
     DirectoryParams,
     ObsParams,
+    RetryPolicy,
     SystemConfig,
     base_ccnuma_config,
     base_rnuma_config,
@@ -97,7 +110,15 @@ from repro.experiments import (
     table4_jobs,
     topology_scaling_jobs,
 )
-from repro.experiments.executor import Executor, ResultStore, default_store_dir
+from repro.experiments.executor import (
+    TMP_GC_AGE_S,
+    Executor,
+    JobFailure,
+    ResultStore,
+    SweepFailure,
+    default_store_dir,
+    job_from_failure,
+)
 from repro.experiments.runner import ResultCache
 from repro.interconnect.routing import routing_table_for
 from repro.interconnect.topology import TOPOLOGIES, topology_names
@@ -155,6 +176,53 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="skip the on-disk result store (in-memory cache only)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "re-attempt a crashed or timed-out job up to N more times "
+            "with exponential backoff (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-job deadline; a job still running past it is reaped "
+            "(the worker pool is recycled) and retried or failed"
+        ),
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help=(
+            "base retry delay, doubled per attempt with deterministic "
+            "jitter (default: 0.5)"
+        ),
+    )
+    outcome = parser.add_mutually_exclusive_group()
+    outcome.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help=(
+            "run every remaining job even after permanent failures, "
+            "then exit nonzero with a failure table (default)"
+        ),
+    )
+    outcome.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        help="abort the sweep at the first permanent job failure",
+    )
+    parser.set_defaults(fail_fast=False)
 
 
 def _make_executor(args: argparse.Namespace) -> Executor:
@@ -165,7 +233,34 @@ def _make_executor(args: argparse.Namespace) -> Executor:
             store = ResultStore(root)
         except OSError as exc:
             raise SystemExit(f"repro: cannot use result store {root}: {exc}")
-    return Executor(workers=args.jobs, cache=ResultCache(), store=store)
+    try:
+        retry = RetryPolicy(
+            retries=args.retries,
+            job_timeout=args.job_timeout,
+            backoff=args.backoff,
+            fail_fast=args.fail_fast,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(f"repro: {exc}")
+    return Executor(
+        workers=args.jobs, cache=ResultCache(), store=store, retry=retry
+    )
+
+
+def _print_failure_table(failures: Sequence[JobFailure]) -> None:
+    """The casualty report a failed sweep ends with (stderr)."""
+    print(f"\n{len(failures)} job(s) permanently failed:", file=sys.stderr)
+    print(
+        f"  {'app':<10} {'protocol':<7} {'engine':<12} {'kind':<11} "
+        f"{'attempts':>8}  error",
+        file=sys.stderr,
+    )
+    for f in failures:
+        print(
+            f"  {f.app:<10} {f.protocol:<7} {f.engine:<12} {f.kind:<11} "
+            f"{f.attempts:>8}  {f.error}",
+            file=sys.stderr,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -347,7 +442,69 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream per-job progress to stderr as the sweep runs",
     )
+    rep_p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "re-run only the failures recorded in the last sweep's "
+            "run manifest (everything else is already stored)"
+        ),
+    )
     _add_executor_args(rep_p)
+
+    store_p = sub.add_parser(
+        "store", help="inspect and maintain the persistent result store"
+    )
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+
+    def _add_store_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help=(
+                "result-store directory (default: $REPRO_STORE_DIR or "
+                "~/.cache/repro-rnuma)"
+            ),
+        )
+
+    verify_p = store_sub.add_parser(
+        "verify",
+        help=(
+            "fsck every entry; corrupt ones are moved to quarantine/ "
+            "and the command exits nonzero"
+        ),
+    )
+    _add_store_dir(verify_p)
+    verify_p.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help="report corrupt entries but leave them in place",
+    )
+
+    gc_p = store_sub.add_parser(
+        "gc",
+        help=(
+            "remove stale-schema entries and old orphan .tmp files "
+            "(fresh ones may belong to a live writer and are kept)"
+        ),
+    )
+    _add_store_dir(gc_p)
+    gc_p.add_argument(
+        "--tmp-age",
+        type=float,
+        default=TMP_GC_AGE_S,
+        metavar="SECONDS",
+        help=(
+            "minimum age before an orphan .tmp is considered dead "
+            f"(default: {TMP_GC_AGE_S:g})"
+        ),
+    )
+
+    stats_p = store_sub.add_parser(
+        "stats", help="summarize the store directory"
+    )
+    _add_store_dir(stats_p)
 
     report_p = sub.add_parser(
         "report", help="summarize a trace or metrics file"
@@ -549,6 +706,44 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
     print(format_ablation(result))
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    root = Path(args.store) if args.store else default_store_dir()
+    try:
+        store = ResultStore(root)
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot open result store {root}: {exc}")
+    if args.store_command == "verify":
+        report = store.verify(quarantine=not args.no_quarantine)
+        print(f"store: checked {report['checked']} entries under {store.root}")
+        print(f"  ok            {report['ok']}")
+        print(
+            f"  stale schema  {report['stale_schema']}"
+            + (" (run `store gc` to remove)" if report["stale_schema"] else "")
+        )
+        label = "corrupt" if args.no_quarantine else "quarantined"
+        print(f"  {label:<13} {len(report['quarantined'])}")
+        for item in report["quarantined"]:
+            print(f"    {item['entry']}  {item['reason']}")
+        return 1 if report["quarantined"] else 0
+    if args.store_command == "gc":
+        report = store.gc(tmp_max_age_s=args.tmp_age)
+        print(
+            f"store: removed {report['removed_stale_entries']} stale "
+            f"entries and {report['removed_tmp']} orphan tmp files; "
+            f"kept {report['kept_live_tmp']} fresh tmp files"
+        )
+        return 0
+    stats = store.stats()
+    print(f"store: {stats['root']} (schema v{stats['schema_version']})")
+    print(f"  entries      {stats['entries']} ({stats['total_bytes']:,} bytes)")
+    for version, count in sorted(stats["schema_versions"].items()):
+        print(f"    schema {version:<8} {count}")
+    print(f"  tmp files    {stats['tmp_files']}")
+    print(f"  quarantined  {stats['quarantined']}")
+    print(f"  manifest     {'yes' if stats['has_manifest'] else 'no'}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from repro.obs.report import report
 
@@ -566,7 +761,50 @@ def _cmd_report(args: argparse.Namespace) -> None:
         print("\nschema: valid")
 
 
-def _cmd_reproduce(args: argparse.Namespace) -> None:
+def _resume_reproduce(args: argparse.Namespace, executor: Executor) -> int:
+    """``reproduce --resume``: re-run only the failures the last
+    sweep's manifest recorded — everything that succeeded is already in
+    the store, so there is nothing else to do."""
+    if executor.store is None:
+        raise SystemExit(
+            "repro: --resume needs the on-disk store (drop --no-store)"
+        )
+    manifest = executor.store.read_manifest()
+    if manifest is None:
+        raise SystemExit(
+            f"repro: --resume found no run manifest under "
+            f"{executor.store.root}; run `python -m repro reproduce` first"
+        )
+    records = [
+        JobFailure.from_json_dict(f) for f in manifest.get("failures", [])
+    ]
+    if not records:
+        print(
+            "reproduce: manifest records no failures; nothing to resume",
+            file=sys.stderr,
+        )
+        return 0
+    jobs = [job_from_failure(f) for f in records]
+    print(f"reproduce: resuming {len(jobs)} failed job(s)", file=sys.stderr)
+    failures: List[JobFailure] = []
+    try:
+        executor.run(jobs)
+    except SweepFailure as exc:
+        failures = exc.failures
+    manifest["failures"] = [f.to_json_dict() for f in failures]
+    executor.store.write_manifest_payload(manifest)
+    print(
+        f"reproduce: {len(jobs) - len(failures)} job(s) recovered, "
+        f"{len(failures)} still failing",
+        file=sys.stderr,
+    )
+    if failures:
+        _print_failure_table(failures)
+        return 1
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Full paper sweep: one deduplicated job set, one executor."""
     import time
 
@@ -590,6 +828,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
             )
 
         executor.progress = _heartbeat
+    if args.resume:
+        return _resume_reproduce(args, executor)
     scale, apps = args.scale, args.apps
 
     # Enumerate every figure/table/ablation/extension simulation up
@@ -626,38 +866,100 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
     store_baseline = executor.store_seconds
 
     # Phase 2 — simulate (store I/O tracked separately by the executor).
+    # A SweepFailure here means some jobs are permanently dead after
+    # their retry budget; everything else completed (keep-going) and is
+    # cached/stored, so rendering proceeds on the survivors.
     t0 = time.perf_counter()
-    executor.run(jobs)
+    failures: List[JobFailure] = []
+    try:
+        executor.run(jobs)
+    except SweepFailure as exc:
+        failures = exc.failures
     simulate_s = time.perf_counter() - t0 - (
         executor.store_seconds - store_baseline
     )
     store_after_simulate = executor.store_seconds
 
-    # Phase 3 — render.  All compute calls hit the warm executor.
+    # Phase 3 — render.  All compute calls hit the warm executor; a
+    # section whose job set includes a permanently failed key is
+    # replaced with a skip marker instead of re-simulating a known-bad
+    # job (or crashing the report).
+    failed_keys = executor.failed_keys
+
+    def _section(label: str, render_fn, section_jobs=None) -> str:
+        if section_jobs is not None and failed_keys:
+            blocked = {repr(j.key) for j in section_jobs} & failed_keys
+            if blocked:
+                return (
+                    f"{label}: skipped — {len(blocked)} required job(s) "
+                    "permanently failed (see failure table)"
+                )
+        try:
+            return render_fn()
+        except SweepFailure as exc:
+            return (
+                f"{label}: skipped — {len(exc.failures)} required job(s) "
+                "permanently failed (see failure table)"
+            )
+
     t0 = time.perf_counter()
     sections = [format_table1(), format_table2(), format_table3(scale=scale)]
     for number in sorted(_FIGURES):
-        _, compute, render = _FIGURES[number]
-        sections.append(render(compute(scale=scale, apps=apps, executor=executor)))
+        jobs_fn, compute, render = _FIGURES[number]
+        sections.append(
+            _section(
+                f"Figure {number}",
+                lambda compute=compute, render=render: render(
+                    compute(scale=scale, apps=apps, executor=executor)
+                ),
+                jobs_fn(scale, apps),
+            )
+        )
     sections.append(
-        format_table4(compute_table4(scale=scale, apps=apps, executor=executor))
+        _section(
+            "Table 4",
+            lambda: format_table4(
+                compute_table4(scale=scale, apps=apps, executor=executor)
+            ),
+            table4_jobs(scale, apps),
+        )
     )
     for which in sorted(_ABLATIONS):
-        _, compute = _ABLATIONS[which]
+        jobs_fn, compute = _ABLATIONS[which]
         sections.append(
-            format_ablation(compute(scale=scale, apps=apps, executor=executor))
+            _section(
+                f"Ablation: {which}",
+                lambda compute=compute: format_ablation(
+                    compute(scale=scale, apps=apps, executor=executor)
+                ),
+                jobs_fn(scale, apps),
+            )
         )
     sections.append(
-        format_scaling(compute_scaling(scale=scale, apps=apps, executor=executor))
-    )
-    sections.append(
-        format_topology_scaling(
-            compute_topology_scaling(scale=scale, apps=apps, executor=executor)
+        _section(
+            "Extension: cluster-size",
+            lambda: format_scaling(
+                compute_scaling(scale=scale, apps=apps, executor=executor)
+            ),
+            scaling_jobs(scale, apps),
         )
     )
     sections.append(
-        format_directory_scaling(
-            compute_directory_scaling(scale=scale, apps=apps, executor=executor)
+        _section(
+            "Extension: topology",
+            lambda: format_topology_scaling(
+                compute_topology_scaling(scale=scale, apps=apps, executor=executor)
+            ),
+            topology_scaling_jobs(scale, apps),
+        )
+    )
+    sections.append(
+        _section(
+            "Extension: directory",
+            lambda: format_directory_scaling(
+                compute_directory_scaling(scale=scale, apps=apps, executor=executor)
+            ),
+            directory_scaling_jobs(scale, apps),
         )
     )
     print("\n\n".join(sections))
@@ -705,32 +1007,53 @@ def _cmd_reproduce(args: argparse.Namespace) -> None:
                     file=sys.stderr,
                 )
 
+    if failures:
+        _print_failure_table(failures)
+        hint = (
+            "; re-run only the failed jobs with "
+            "`python -m repro reproduce --resume`"
+            if executor.store is not None
+            else ""
+        )
+        print(f"reproduce: partial results kept{hint}", file=sys.stderr)
+        return 1
+    return 0
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        _cmd_list()
-    elif args.command == "topologies":
-        _cmd_topologies(args)
-    elif args.command == "directories":
-        _cmd_directories()
-    elif args.command == "engines":
-        _cmd_engines()
-    elif args.command == "run":
-        _cmd_run(args)
-    elif args.command == "trace-stats":
-        _cmd_trace_stats(args)
-    elif args.command == "figure":
-        _cmd_figure(args)
-    elif args.command == "table":
-        _cmd_table(args)
-    elif args.command == "ablation":
-        _cmd_ablation(args)
-    elif args.command == "reproduce":
-        _cmd_reproduce(args)
-    elif args.command == "report":
-        _cmd_report(args)
-    return 0
+    rc = 0
+    try:
+        if args.command == "list":
+            _cmd_list()
+        elif args.command == "topologies":
+            _cmd_topologies(args)
+        elif args.command == "directories":
+            _cmd_directories()
+        elif args.command == "engines":
+            _cmd_engines()
+        elif args.command == "run":
+            _cmd_run(args)
+        elif args.command == "trace-stats":
+            _cmd_trace_stats(args)
+        elif args.command == "figure":
+            _cmd_figure(args)
+        elif args.command == "table":
+            _cmd_table(args)
+        elif args.command == "ablation":
+            _cmd_ablation(args)
+        elif args.command == "reproduce":
+            rc = _cmd_reproduce(args)
+        elif args.command == "store":
+            rc = _cmd_store(args)
+        elif args.command == "report":
+            _cmd_report(args)
+    except SweepFailure as exc:
+        # figure/table/ablation sweeps propagate permanent job
+        # failures here; reproduce handles its own (partial render).
+        _print_failure_table(exc.failures)
+        return 1
+    return rc
 
 
 if __name__ == "__main__":

@@ -24,6 +24,18 @@ class TraceError(ReproError):
     """A malformed workload trace (e.g. mismatched barriers)."""
 
 
+class FaultInjected(ReproError):
+    """A deterministic injected fault fired (see :mod:`repro.faults`).
+
+    Raised only when an injection point armed through the
+    ``REPRO_FAULTS`` environment variable fires; production runs never
+    construct it.  Worker-side injections surface as ordinary job
+    crashes; store-side injections simulate torn writes and writer
+    death, so :meth:`ResultStore.save` deliberately does *not* clean up
+    its temp file when this escapes — that is the crash being modeled.
+    """
+
+
 class EngineUnavailableError(ReproError):
     """A requested engine backend cannot run in this environment.
 

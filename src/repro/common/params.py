@@ -321,6 +321,58 @@ class ObsParams:
         return self.trace_path is not None or self.metrics_path is not None
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failure policy for the experiment executor's job fan-out.
+
+    Like :class:`ObsParams`, these knobs are *execution* policy, not
+    system identity: retrying, timing out, or backing off never changes
+    what a simulation computes (backends are deterministic), only
+    whether and when it is re-attempted.  They therefore live outside
+    :class:`SystemConfig` entirely — no run key, store key, or stored
+    payload ever includes them, so a sweep run with ``--retries 3`` and
+    one run with none share the same store entries.
+
+    ``retries``
+        Extra attempts per job after the first, consumed by crashes and
+        timeouts.  Engine-unavailability (a missing optional dependency)
+        is never retried — re-running cannot install NumPy.
+    ``job_timeout``
+        Per-job wall-clock deadline in seconds.  A job past it is
+        declared hung: its worker pool is recycled (the only way to
+        reclaim a stuck worker) and the job is retried or recorded as
+        failed.  Setting it forces the pool path even with one worker,
+        since an in-process job cannot be preempted.
+    ``backoff``
+        Base for exponential backoff between a job's attempts, with
+        deterministic per-(job, attempt) jitter derived from the run
+        key — no global random state (see
+        :func:`repro.experiments.executor.backoff_delay`).
+    ``fail_fast``
+        Abort the sweep on the first *permanently* failed job (its
+        retry budget spent) instead of recording it and finishing the
+        rest (the default, ``--keep-going``).
+    """
+
+    retries: int = 0
+    job_timeout: Optional[float] = None
+    backoff: float = 0.5
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError("retries must be non-negative")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ConfigurationError("job_timeout must be positive")
+        if self.backoff < 0:
+            raise ConfigurationError("backoff must be non-negative")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a crashing/hanging job may consume."""
+        return self.retries + 1
+
+
 # Process-wide default engine backend, resolved into any SystemConfig
 # constructed with engine="default".  ``reproduce --engine`` flips this
 # once, up front, so every config the sweep's figure/table modules

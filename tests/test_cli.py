@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -183,3 +185,65 @@ def test_store_path_collision_rejected(tmp_path):
     not_a_dir.write_text("")
     with pytest.raises(SystemExit, match="cannot use result store"):
         main(["table", "4", "--scale", "0.1", "--store", str(not_a_dir)])
+
+
+def test_negative_retries_rejected():
+    with pytest.raises(SystemExit, match="retries"):
+        main(["table", "4", "--scale", "0.1", "--no-store", "--retries", "-1"])
+
+
+def test_fail_fast_and_keep_going_conflict():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["reproduce", "--fail-fast", "--keep-going"])
+
+
+def test_reproduce_failure_resume_cycle(capsys, tmp_path, monkeypatch):
+    """An injected permanent failure makes ``reproduce`` exit nonzero
+    with a failure table and a manifest record; ``--resume`` in a
+    healthy environment re-runs only that job and clears the record."""
+    argv = [
+        "reproduce", "--scale", "0.1", "--apps", "em3d",
+        "--store", str(tmp_path), "--backoff", "0",
+    ]
+    monkeypatch.setenv("REPRO_FAULTS", "worker-raise:index=0")
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "skipped" in captured.out  # sections missing their job
+    assert "permanently failed" in captured.err
+    assert "--resume" in captured.err
+    manifest = json.loads((tmp_path / "run_manifest.json").read_text())
+    assert len(manifest["failures"]) == 1
+    assert manifest["failures"][0]["kind"] == "crash"
+
+    monkeypatch.delenv("REPRO_FAULTS")
+    assert main(argv + ["--resume"]) == 0
+    captured = capsys.readouterr()
+    assert "1 job(s) recovered" in captured.err
+    manifest = json.loads((tmp_path / "run_manifest.json").read_text())
+    assert manifest["failures"] == []
+
+    # With the store healed, the full report renders every section.
+    out = run_cli(capsys, *argv)
+    assert "skipped" not in out
+    for heading in ("Table 4", "Figure 5", "Extension: topology"):
+        assert heading in out
+
+
+def test_resume_with_clean_manifest_is_noop(capsys, tmp_path):
+    argv = [
+        "reproduce", "--scale", "0.1", "--apps", "em3d", "--store", str(tmp_path),
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv + ["--resume"]) == 0
+    assert "nothing to resume" in capsys.readouterr().err
+
+
+def test_resume_requires_store():
+    with pytest.raises(SystemExit, match="--resume needs the on-disk store"):
+        main(["reproduce", "--resume", "--no-store"])
+
+
+def test_resume_without_manifest_rejected(tmp_path):
+    with pytest.raises(SystemExit, match="no run manifest"):
+        main(["reproduce", "--resume", "--store", str(tmp_path)])

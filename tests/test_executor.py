@@ -9,6 +9,8 @@ import json
 
 import pytest
 
+from repro.common.errors import ConfigurationError
+from repro.common.params import RetryPolicy
 from repro.experiments.config import cc_config, ideal, rnuma_config, scoma_config
 from repro.experiments.executor import (
     STORE_SCHEMA_VERSION,
@@ -16,6 +18,7 @@ from repro.experiments.executor import (
     Job,
     ResultStore,
     _simulate_job,
+    backoff_delay,
     ensure_executor,
 )
 from repro.experiments.runner import (
@@ -265,6 +268,85 @@ class TestTelemetry:
     def test_write_manifest_without_store_is_noop(self):
         exe = Executor(workers=1, cache=ResultCache())
         assert exe.write_manifest([Job(APP, cc_config(), SCALE)]) is None
+
+    def test_manifest_records_retry_policy_and_empty_failures(self, tmp_path):
+        store = ResultStore(tmp_path)
+        exe = Executor(
+            workers=1,
+            cache=ResultCache(),
+            store=store,
+            retry=RetryPolicy(retries=2, job_timeout=30.0),
+        )
+        jobs = [Job(APP, cc_config(), SCALE)]
+        exe.run(jobs)
+        manifest = json.loads(exe.write_manifest(jobs).read_text())
+        assert manifest["retry_policy"] == {
+            "retries": 2,
+            "job_timeout": 30.0,
+            "backoff": 0.5,
+            "fail_fast": False,
+        }
+        assert manifest["failures"] == []
+
+    def test_raising_progress_callback_does_not_abort_sweep(self, capsys):
+        calls = []
+
+        def broken(done, total, job, source):
+            calls.append(done)
+            raise RuntimeError("telemetry bug")
+
+        exe = Executor(workers=1, cache=ResultCache(), progress=broken)
+        jobs = [Job(APP, cc_config(), SCALE), Job(APP, scoma_config(), SCALE)]
+        results = exe.run(jobs)
+        assert len(results) == 2  # the sweep survived its heartbeat
+        assert calls == [1]  # disabled after the first raise
+        assert exe.progress is None
+        err = capsys.readouterr().err
+        assert err.count("heartbeat disabled") == 1
+        assert "telemetry bug" in err
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.retries == 0
+        assert policy.job_timeout is None
+        assert policy.max_attempts == 1
+        assert not policy.fail_fast
+
+    def test_max_attempts(self):
+        assert RetryPolicy(retries=3).max_attempts == 4
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError, match="retries"):
+            RetryPolicy(retries=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigurationError, match="job_timeout"):
+            RetryPolicy(job_timeout=0)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ConfigurationError, match="backoff"):
+            RetryPolicy(backoff=-0.1)
+
+    def test_backoff_delay_deterministic_and_jittered(self):
+        policy = RetryPolicy(retries=5, backoff=0.5)
+        key = ("em3d", "ccnuma")
+        first = backoff_delay(policy, key, 1)
+        assert first == backoff_delay(policy, key, 1)
+        assert 0.25 <= first < 0.75  # 0.5 * [0.5, 1.5) jitter
+        second = backoff_delay(policy, key, 2)
+        assert 0.5 <= second < 1.5  # doubled base, same jitter band
+        assert backoff_delay(policy, key, 1) != backoff_delay(
+            policy, ("fft", "ccnuma"), 1
+        )
+
+    def test_backoff_delay_capped(self):
+        policy = RetryPolicy(retries=50, backoff=0.5)
+        assert backoff_delay(policy, ("em3d",), 40) == 30.0
+
+    def test_zero_backoff_means_no_delay(self):
+        assert backoff_delay(RetryPolicy(backoff=0.0), ("em3d",), 3) == 0.0
 
 
 class TestEnsureExecutor:
